@@ -1,0 +1,372 @@
+// Benchmarks regenerating each of the paper's evaluation artifacts
+// (Table I, Table II, Figure 2, the Figure 1 trace) at reduced scale, plus
+// ablation benches for the design choices documented in DESIGN.md. Run
+//
+//	go test -bench=. -benchmem
+//
+// at the repository root. The full-scale artifacts are produced by
+// cmd/tables (-scale full); these benches keep each regeneration small
+// enough to serve as a continuously-run performance regression net.
+package tightsched_test
+
+import (
+	"testing"
+
+	"tightsched"
+	"tightsched/internal/analytic"
+	"tightsched/internal/app"
+	"tightsched/internal/exp"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+	"tightsched/internal/rng"
+	"tightsched/internal/sched"
+	"tightsched/internal/sim"
+)
+
+// miniSweep is a single-point sweep preserving the full heuristic set.
+func miniSweep(m int) exp.Sweep {
+	return exp.Sweep{
+		M:          m,
+		Ncoms:      []int{10},
+		Wmins:      []int{1},
+		Scenarios:  1,
+		Trials:     1,
+		P:          20,
+		Iterations: 5,
+		Cap:        50_000,
+		Seed:       20130522,
+	}
+}
+
+// BenchmarkTableI regenerates a miniature Table I (m = 5, all 17
+// heuristics) per iteration and reports the best heuristic's %diff.
+func BenchmarkTableI(b *testing.B) {
+	sweep := miniSweep(5)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(sweep, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := res.Table(exp.ReferenceHeuristic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 17 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+		b.ReportMetric(rows[0].Diff, "best%diff")
+	}
+}
+
+// BenchmarkTableII regenerates a miniature Table II (m = 10, the paper's
+// best-eight heuristics).
+func BenchmarkTableII(b *testing.B) {
+	sweep := miniSweep(10)
+	sweep.Heuristics = []string{"Y-IE", "P-IE", "E-IAY", "E-IY", "E-IP", "IAY", "IY", "IE"}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(sweep, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := res.Table(exp.ReferenceHeuristic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates a miniature Figure 2 (the %diff-vs-wmin
+// series for m = 10 over a reduced wmin axis).
+func BenchmarkFigure2(b *testing.B) {
+	sweep := miniSweep(10)
+	sweep.Wmins = []int{1, 2}
+	sweep.Heuristics = []string{"Y-IE", "P-IE", "IE", "IAY"}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(sweep, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series, err := res.Figure2(exp.ReferenceHeuristic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series["Y-IE"]) != len(sweep.Wmins) {
+			b.Fatal("short series")
+		}
+	}
+}
+
+// BenchmarkFigure1Trace replays the paper's Figure 1 scripted execution.
+func BenchmarkFigure1Trace(b *testing.B) {
+	procs := make([]platform.Processor, 5)
+	for i := range procs {
+		procs[i] = platform.Processor{
+			Speed: i + 1, Capacity: platform.UnboundedCapacity, Avail: markov.Uniform(0.95),
+		}
+	}
+	pl := &platform.Platform{Procs: procs, Ncom: 2}
+	script, err := sim.ParseScript([]string{
+		"ddddddddddddddd",
+		"uuuuuuuuurruuuu",
+		"uurruuuuuuuruuu",
+		"uuuuuuuuuuuuuuu",
+		"ddddddddddddddd",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fixed := fixedAssignment{app.Assignment{0, 2, 2, 1, 0}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Platform: pl,
+			App:      app.Application{Tasks: 5, Tprog: 2, Tdata: 1, Iterations: 1},
+			Custom:   fixed,
+			Provider: &sim.ScriptProvider{Script: script},
+			Cap:      100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Makespan != 15 {
+			b.Fatalf("makespan %d", res.Makespan)
+		}
+	}
+}
+
+type fixedAssignment struct{ asg app.Assignment }
+
+func (f fixedAssignment) Name() string { return "FIXED" }
+
+func (f fixedAssignment) Decide(v *sched.View) app.Assignment {
+	if v.Current != nil {
+		return v.Current
+	}
+	for q, x := range f.asg {
+		if x > 0 && v.States[q] != markov.Up {
+			return nil
+		}
+	}
+	return f.asg
+}
+
+// benchPlatform builds a paper-style analytic platform.
+func benchPlatform(p int, eps float64) *analytic.Platform {
+	stream := rng.New(1)
+	ms := make([]markov.Matrix, p)
+	for i := range ms {
+		ms[i] = markov.PerState(stream.Uniform(0.90, 0.99),
+			stream.Uniform(0.90, 0.99), stream.Uniform(0.90, 0.99))
+	}
+	return analytic.NewPlatform(ms, eps)
+}
+
+// BenchmarkAnalyticPplus measures the Theorem 5.1 series evaluation for a
+// 5-worker set (the inner loop of every heuristic decision).
+func BenchmarkAnalyticPplus(b *testing.B) {
+	pl := benchPlatform(20, analytic.DefaultEps)
+	members := []int{0, 3, 7, 11, 19}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := pl.StatsOf(members)
+		if st.Pplus <= 0 {
+			b.Fatal("bad stats")
+		}
+	}
+}
+
+// BenchmarkAnalyticCandidate measures one incremental candidate
+// evaluation: the set statistics of S ∪ {q} given a built S.
+func BenchmarkAnalyticCandidate(b *testing.B) {
+	pl := benchPlatform(20, sim.DefaultEps)
+	se := pl.NewSetEval()
+	for _, q := range []int{0, 3, 7, 11} {
+		se.Add(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := se.CandidateStats(19)
+		if st.Pplus <= 0 {
+			b.Fatal("bad stats")
+		}
+	}
+}
+
+// BenchmarkHeuristicDecide measures one full scheduling decision (fresh
+// configuration build) for a passive and a proactive heuristic.
+func BenchmarkHeuristicDecide(b *testing.B) {
+	for _, name := range []string{"IE", "IP", "Y-IE"} {
+		b.Run(name, func(b *testing.B) {
+			sc := tightsched.PaperScenario(10, 10, 5, 42)
+			env := &sched.Env{
+				Platform: sc.Platform,
+				App:      sc.App,
+				Analytic: analytic.NewPlatform(sc.Platform.Matrices(), sim.DefaultEps),
+				Rand:     rng.New(7),
+			}
+			h := sched.MustBuild(name, env)
+			states := make([]markov.State, sc.Platform.Size())
+			v := &sched.View{
+				States:  states,
+				Workers: make([]sched.WorkerInfo, sc.Platform.Size()),
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.RetentionEpoch = int64(i) // defeat the proactive cache
+				if asg := h.Decide(v); asg == nil {
+					b.Fatal("no configuration")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSlots measures raw engine throughput in slots/op with a
+// passive heuristic on a paper-size platform.
+func BenchmarkEngineSlots(b *testing.B) {
+	sc := tightsched.PaperScenario(5, 10, 3, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tightsched.Run(sc, "IE", tightsched.Options{Seed: uint64(i), Cap: 5_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Makespan), "slots/op")
+	}
+}
+
+// BenchmarkAblationCompletionForm compares the renewal-form E(S)(W)
+// (used by the heuristics) against the formula as printed in the paper;
+// the printed form's (P⁺)^{W−1} denominator makes it blow up for large W.
+// DESIGN.md documents why the renewal form is the one Monte-Carlo
+// validates.
+func BenchmarkAblationCompletionForm(b *testing.B) {
+	pl := benchPlatform(20, analytic.DefaultEps)
+	st := pl.StatsOf([]int{0, 1, 2, 3})
+	b.Run("renewal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if st.ExpectedCompletion(50) <= 0 {
+				b.Fatal("bad value")
+			}
+		}
+		b.ReportMetric(st.ExpectedCompletion(50), "E(50)")
+	})
+	b.Run("paper", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if st.ExpectedCompletionPaper(50) <= 0 {
+				b.Fatal("bad value")
+			}
+		}
+		b.ReportMetric(st.ExpectedCompletionPaper(50), "E(50)")
+	})
+}
+
+// BenchmarkAblationRenewalHeuristics runs the same scenario with the
+// heuristics optimizing the paper-form E (default; reproduces published
+// rankings) versus the Monte-Carlo-correct renewal form. The makespan
+// metrics show how much the formula choice changes actual scheduling
+// behaviour (see DESIGN.md, "Reproduction notes").
+func BenchmarkAblationRenewalHeuristics(b *testing.B) {
+	for _, renewal := range []bool{false, true} {
+		name := "paper-form"
+		if renewal {
+			name = "renewal-form"
+		}
+		b.Run(name, func(b *testing.B) {
+			sc := tightsched.PaperScenario(5, 10, 3, 55)
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					Platform:  sc.Platform,
+					App:       sc.App,
+					Heuristic: "IE",
+					Seed:      21,
+					Cap:       200_000,
+					RenewalE:  renewal,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Makespan), "makespan")
+				b.ReportMetric(float64(res.Restarts), "restarts")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEpsilon quantifies the engine-precision design choice
+// (DefaultEps = 1e-6 for heuristic ranking): the makespan metric shows
+// decisions are insensitive to tighter precision while the cost rises.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	for _, eps := range []float64{1e-4, 1e-6, 1e-9} {
+		b.Run(fmtEps(eps), func(b *testing.B) {
+			sc := tightsched.PaperScenario(5, 10, 2, 42)
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					Platform:  sc.Platform,
+					App:       sc.App,
+					Heuristic: "Y-IE",
+					Seed:      9,
+					Cap:       100_000,
+					Eps:       eps,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Makespan), "makespan")
+			}
+		})
+	}
+}
+
+func fmtEps(eps float64) string {
+	switch eps {
+	case 1e-4:
+		return "eps=1e-4"
+	case 1e-6:
+		return "eps=1e-6"
+	default:
+		return "eps=1e-9"
+	}
+}
+
+// BenchmarkAblationProactive quantifies the passive-versus-proactive
+// design axis on one scenario: same platform, same availability, three
+// policies.
+func BenchmarkAblationProactive(b *testing.B) {
+	for _, name := range []string{"IE", "Y-IE", "P-IE"} {
+		b.Run(name, func(b *testing.B) {
+			sc := tightsched.PaperScenario(5, 10, 2, 77)
+			for i := 0; i < b.N; i++ {
+				res, err := tightsched.Run(sc, name, tightsched.Options{Seed: 13, Cap: 200_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Makespan), "makespan")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSurviveCache measures the quantized survival cache
+// against direct closed-form evaluation (the math.Pow path).
+func BenchmarkAblationSurviveCache(b *testing.B) {
+	pl := benchPlatform(1, analytic.DefaultEps)
+	p := pl.Procs[0]
+	b.Run("quantized", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += p.SurviveQ(float64(i%200) * 0.37)
+		}
+		_ = sink
+	})
+	b.Run("direct", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += p.SurviveReal(float64(i%200) * 0.37)
+		}
+		_ = sink
+	})
+}

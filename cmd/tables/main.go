@@ -1,0 +1,160 @@
+// Command tables regenerates the paper's evaluation artifacts: Table I
+// (m = 5), Table II (m = 10) and Figure 2 (%diff versus wmin for m = 10),
+// by sweeping the Section VII.A experimental space and aggregating the
+// paper's metrics against the reference heuristic IE.
+//
+// Scale:
+//
+//	-scale quick   reduced sweep (default; minutes)
+//	-scale full    the paper's 3,000-instance-per-m sweep (many CPU-hours)
+//
+// or override -scenarios / -trials / -cap / -wmins individually.
+//
+// Usage:
+//
+//	tables -table 1
+//	tables -table 2
+//	tables -figure 2
+//	tables -table 1 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tightsched/internal/exp"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate Table 1 (m=5) or 2 (m=10)")
+		figure    = flag.Int("figure", 0, "regenerate Figure 2 (%diff vs wmin, m=10)")
+		scale     = flag.String("scale", "quick", "quick | full")
+		scenarios = flag.Int("scenarios", 0, "override scenarios per point")
+		trials    = flag.Int("trials", 0, "override trials per scenario")
+		capSlots  = flag.Int64("cap", 0, "override failure cap in slots")
+		wmins     = flag.String("wmins", "", "override wmin list, e.g. 1,2,3")
+		workers   = flag.Int("workers", 0, "parallel simulations (default NumCPU)")
+		seed      = flag.Uint64("seed", 0, "override master seed")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *table == 0 && *figure == 0 {
+		fmt.Fprintln(os.Stderr, "tables: choose -table 1, -table 2 or -figure 2")
+		os.Exit(2)
+	}
+	if *figure != 0 && *figure != 2 {
+		fmt.Fprintln(os.Stderr, "tables: only Figure 2 exists in the paper")
+		os.Exit(2)
+	}
+	if *table != 0 && *table != 1 && *table != 2 {
+		fmt.Fprintln(os.Stderr, "tables: only Tables 1 and 2 exist in the paper")
+		os.Exit(2)
+	}
+	if *table == 1 && *figure == 2 {
+		fmt.Fprintln(os.Stderr, "tables: Table 1 (m=5) and Figure 2 (m=10) need different sweeps")
+		os.Exit(2)
+	}
+
+	m := 5
+	if *table == 2 || *figure == 2 {
+		m = 10
+	}
+	var sweep exp.Sweep
+	switch *scale {
+	case "quick":
+		sweep = exp.QuickSweep(m)
+	case "full":
+		sweep = exp.PaperSweep(m)
+	default:
+		fmt.Fprintln(os.Stderr, "tables: -scale must be quick or full")
+		os.Exit(2)
+	}
+	if *scenarios > 0 {
+		sweep.Scenarios = *scenarios
+	}
+	if *trials > 0 {
+		sweep.Trials = *trials
+	}
+	if *capSlots > 0 {
+		sweep.Cap = *capSlots
+	}
+	if *workers > 0 {
+		sweep.Workers = *workers
+	}
+	if *seed != 0 {
+		sweep.Seed = *seed
+	}
+	if *wmins != "" {
+		var ws []int
+		for _, part := range strings.Split(*wmins, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "tables: bad -wmins entry %q\n", part)
+				os.Exit(2)
+			}
+			ws = append(ws, v)
+		}
+		sweep.Wmins = ws
+	}
+
+	total := sweep.InstanceCount() * 17
+	fmt.Printf("# sweep: m=%d ncom=%v wmin=%v scenarios=%d trials=%d cap=%d (%d simulations)\n",
+		sweep.M, sweep.Ncoms, sweep.Wmins, sweep.Scenarios, sweep.Trials, sweep.Cap, total)
+
+	start := time.Now()
+	progress := func(done, total int) {
+		if *quiet {
+			return
+		}
+		if done%200 == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "\r%d/%d simulations (%.0fs)", done, total, time.Since(start).Seconds())
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := exp.Run(sweep, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+
+	if *table == 1 {
+		fmt.Printf("\nTable I — results with m = 5 tasks (reference: IE)\n\n")
+		printTable(res)
+	}
+	if *table == 2 {
+		fmt.Printf("\nTable II — results with m = 10 tasks (reference: IE)\n\n")
+		printTable(res)
+	}
+	if *figure == 2 {
+		fmt.Printf("\nFigure 2 — relative distance to IE vs wmin (m = 10)\n\n")
+		series, err := res.Figure2(exp.ReferenceHeuristic)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		names := []string{"E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"}
+		fmt.Print(exp.FormatFigure2(series, names))
+	}
+}
+
+func printTable(res *exp.Result) {
+	rows, err := res.Table(exp.ReferenceHeuristic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	fmt.Print(exp.FormatTable(rows))
+	if counter := res.RefFailureDominance(exp.ReferenceHeuristic); counter == 0 {
+		fmt.Println("\nrobustness: whenever IE fails, every other heuristic fails too (as in the paper)")
+	} else {
+		fmt.Printf("\nrobustness: %d instances where IE failed but another heuristic succeeded\n", counter)
+	}
+}

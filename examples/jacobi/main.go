@@ -1,0 +1,128 @@
+// Jacobi: schedule a real tightly-coupled numerical workload — a Jacobi
+// iterative solver for a diagonally dominant linear system — on a
+// heterogeneous desktop grid.
+//
+// This is the class of application the paper's introduction motivates:
+// each iteration updates all unknowns from the previous iterate (the
+// tasks exchange data throughout, so all workers must advance in locked
+// steps), followed by a global synchronization and a convergence check.
+//
+// The example first runs the actual Jacobi recurrence to find out how
+// many iterations the system needs, then simulates executing exactly that
+// many iterations on a mixed grid — a few fast "lab" machines that are
+// often reclaimed by their owners, and slower but steadier "office"
+// machines — under three schedulers.
+//
+// Run with:
+//
+//	go run ./examples/jacobi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tightsched"
+)
+
+// jacobiIterations solves Ax = b for a synthetic diagonally dominant
+// system of size n with the Jacobi method and returns the number of
+// iterations to reach the tolerance.
+func jacobiIterations(n int, tol float64) int {
+	// A: tridiagonal with 4 on the diagonal and -1 off it; b := A·ones,
+	// so the exact solution is the all-ones vector.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 4
+		if i > 0 {
+			b[i]--
+		}
+		if i < n-1 {
+			b[i]--
+		}
+	}
+	x := make([]float64, n)
+	next := make([]float64, n)
+	for iter := 1; ; iter++ {
+		var maxDiff float64
+		for i := 0; i < n; i++ {
+			sum := b[i]
+			if i > 0 {
+				sum += x[i-1]
+			}
+			if i < n-1 {
+				sum += x[i+1]
+			}
+			next[i] = sum / 4
+			if d := math.Abs(next[i] - x[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		x, next = next, x
+		if maxDiff < tol {
+			// Sanity: the solution must be ones.
+			for i := range x {
+				if math.Abs(x[i]-1) > 100*tol {
+					log.Fatalf("jacobi did not converge to the expected solution (x[%d]=%v)", i, x[i])
+				}
+			}
+			return iter
+		}
+	}
+}
+
+func main() {
+	const unknowns = 4096
+	iterations := jacobiIterations(unknowns, 1e-6)
+	fmt.Printf("Jacobi solver: %d unknowns converge in %d synchronized iterations\n\n",
+		unknowns, iterations)
+
+	// The grid: 4 fast lab machines (w=2) that their owners reclaim
+	// often, and 8 office machines (w=6) that are slower but steadier.
+	// Crashes (DOWN) are rare everywhere; reclamation dominates.
+	lab := tightsched.AvailabilityMatrix{
+		{0.90, 0.095, 0.005}, // UP: often reclaimed
+		{0.30, 0.695, 0.005}, // RECLAIMED: owner sessions last a while
+		{0.50, 0.25, 0.25},
+	}
+	office := tightsched.AvailabilityMatrix{
+		{0.985, 0.010, 0.005},
+		{0.60, 0.395, 0.005},
+		{0.50, 0.25, 0.25},
+	}
+	var procs []tightsched.Processor
+	for i := 0; i < 4; i++ {
+		procs = append(procs, tightsched.Processor{Speed: 2, Capacity: 8, Avail: lab})
+	}
+	for i := 0; i < 8; i++ {
+		procs = append(procs, tightsched.Processor{Speed: 6, Capacity: 8, Avail: office})
+	}
+	sc := tightsched.Scenario{
+		Platform: &tightsched.Platform{Procs: procs, Ncom: 4},
+		App: tightsched.Application{
+			Tasks:      8, // 8 block-rows of the matrix per iteration
+			Tprog:      10,
+			Tdata:      2,
+			Iterations: iterations,
+		},
+	}
+
+	fmt.Printf("grid: 4 fast-but-reclaimed lab machines (w=2), 8 steady office machines (w=6)\n")
+	fmt.Printf("application: 8 coupled tasks/iteration, %d iterations, ncom=4\n\n", iterations)
+
+	sums, err := tightsched.Compare(sc, []string{"Y-IE", "IE", "IP", "RANDOM"}, 5, 3,
+		tightsched.Options{Cap: 400_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %8s %12s %12s %10s\n", "policy", "fails", "mean slots", "median", "restarts")
+	for _, s := range sums {
+		fmt.Printf("%-8s %8d %12.0f %12.0f %10.1f\n",
+			s.Heuristic, s.Fails, s.Makespan.Mean, s.Makespan.Median, s.MeanRestarts)
+	}
+	fmt.Println("\nthe completion-time-aware policies (IE, Y-IE) dominate: they only couple the")
+	fmt.Println("computation to the often-reclaimed lab machines when the speedup pays for the")
+	fmt.Println("suspensions; pure probability-of-success (IP) over-weights reliability and")
+	fmt.Println("RANDOM pays for constant restarts")
+}

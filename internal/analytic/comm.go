@@ -1,0 +1,82 @@
+package analytic
+
+import "fmt"
+
+// CommNeed describes the outstanding communication of one enrolled worker:
+// the worker index and the number of slots of master communication it
+// still needs (program download plus one data message per assigned task
+// not yet held).
+type CommNeed struct {
+	Proc  int
+	Slots int
+}
+
+// CommStats holds the Section V.B communication-phase estimates for a
+// configuration.
+type CommStats struct {
+	// Expected is E_comm(S): the estimated duration of the communication
+	// phase in slots.
+	Expected float64
+	// Success is P_comm(S): the estimated probability that no enrolled
+	// worker goes DOWN during the communication phase.
+	Success float64
+}
+
+// CommEstimate computes the Section V.B estimates:
+//
+//	E_comm(S) = max( max_q E^(Pq)(n_q), Σ_q n_q / n_com )
+//	P_comm(S) = Π_q P_ND^(Pq)(E_comm)
+//
+// The max with the aggregate-bandwidth term Σ n_q / n_com is taken
+// unconditionally: when |S| <= n_com it is dominated by the per-worker
+// term (each E^(Pq)(n_q) >= n_q >= Σ/n_com), so this matches the paper's
+// two-case definition while avoiding the case split.
+//
+// Workers with zero outstanding slots contribute nothing to the duration
+// but still multiply into the success probability, since they too must
+// avoid DOWN while the phase lasts. ncom must be positive.
+//
+// CommEstimate uses the renewal-form per-worker expectation; the paper's
+// printed form is available through CommEstimateForm.
+func (pl *Platform) CommEstimate(needs []CommNeed, ncom int) CommStats {
+	return pl.CommEstimateForm(needs, ncom, false)
+}
+
+// CommEstimateForm is CommEstimate with an explicit choice of the
+// per-worker expectation form: paperForm selects E^(Pq)(n) with the
+// (P⁺)^{n−1} denominator as printed in the paper (see
+// Proc.ExpectedCommPaper).
+func (pl *Platform) CommEstimateForm(needs []CommNeed, ncom int, paperForm bool) CommStats {
+	if ncom <= 0 {
+		panic(fmt.Sprintf("analytic: CommEstimate with ncom=%d", ncom))
+	}
+	maxSingle := 0.0
+	total := 0
+	for _, n := range needs {
+		if n.Proc < 0 || n.Proc >= len(pl.Procs) {
+			panic(fmt.Sprintf("analytic: CommEstimate proc %d out of range", n.Proc))
+		}
+		if n.Slots < 0 {
+			panic("analytic: negative communication need")
+		}
+		var e float64
+		if paperForm {
+			e = pl.Procs[n.Proc].ExpectedCommPaper(n.Slots)
+		} else {
+			e = pl.Procs[n.Proc].ExpectedComm(n.Slots)
+		}
+		if e > maxSingle {
+			maxSingle = e
+		}
+		total += n.Slots
+	}
+	expected := maxSingle
+	if agg := float64(total) / float64(ncom); agg > expected {
+		expected = agg
+	}
+	success := 1.0
+	for _, n := range needs {
+		success *= pl.Procs[n.Proc].SurviveQ(expected)
+	}
+	return CommStats{Expected: expected, Success: success}
+}

@@ -1,0 +1,96 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedCommPaperVsRenewal(t *testing.T) {
+	pl := paperPlatform(50, 4)
+	for _, p := range pl.Procs {
+		if p.ExpectedCommPaper(0) != 0 || p.ExpectedCommPaper(-1) != 0 {
+			t.Fatal("zero need should cost 0")
+		}
+		if p.ExpectedCommPaper(1) != 1 || p.ExpectedComm(1) != 1 {
+			t.Fatal("single slot should cost 1")
+		}
+		// The paper form dominates the renewal form and the gap grows
+		// with n (the (P⁺)^{n−1} denominator shrinks).
+		prevGap := 0.0
+		for n := 2; n <= 30; n++ {
+			paper := p.ExpectedCommPaper(n)
+			renewal := p.ExpectedComm(n)
+			if paper < renewal {
+				t.Fatalf("paper form %v below renewal %v at n=%d", paper, renewal, n)
+			}
+			gap := paper - renewal
+			if gap < prevGap-1e-9 {
+				t.Fatalf("gap shrank at n=%d: %v -> %v", n, prevGap, gap)
+			}
+			prevGap = gap
+		}
+	}
+}
+
+func TestCommEstimateFormConsistency(t *testing.T) {
+	pl := paperPlatform(51, 4)
+	needs := []CommNeed{{Proc: 0, Slots: 12}, {Proc: 1, Slots: 3}}
+	renewal := pl.CommEstimateForm(needs, 2, false)
+	paper := pl.CommEstimateForm(needs, 2, true)
+	if def := pl.CommEstimate(needs, 2); def != renewal {
+		t.Fatalf("CommEstimate default should be the renewal form: %+v vs %+v", def, renewal)
+	}
+	if paper.Expected < renewal.Expected {
+		t.Fatalf("paper-form estimate %v below renewal %v", paper.Expected, renewal.Expected)
+	}
+	// Longer expected phases can only lower the survival probability.
+	if paper.Success > renewal.Success+1e-12 {
+		t.Fatalf("paper-form success %v above renewal %v", paper.Success, renewal.Success)
+	}
+}
+
+func TestExpectedCompletionPaperDominates(t *testing.T) {
+	pl := paperPlatform(52, 5)
+	st := pl.StatsOf([]int{0, 1, 2})
+	for w := 1; w <= 40; w++ {
+		paper := st.ExpectedCompletionPaper(w)
+		renewal := st.ExpectedCompletion(w)
+		if paper < renewal-1e-9 {
+			t.Fatalf("paper form below renewal at W=%d: %v vs %v", w, paper, renewal)
+		}
+	}
+	// They agree exactly at W = 1 and W = 2.
+	if st.ExpectedCompletionPaper(1) != st.ExpectedCompletion(1) {
+		t.Fatal("forms must agree at W=1")
+	}
+	if math.Abs(st.ExpectedCompletionPaper(2)-st.ExpectedCompletion(2)) > 1e-12 {
+		t.Fatal("forms must agree at W=2")
+	}
+}
+
+func TestSurviveQMatchesSurviveReal(t *testing.T) {
+	pl := paperPlatform(53, 3)
+	for _, p := range pl.Procs {
+		for i := 0; i < 400; i++ {
+			tt := float64(i) * 0.25 // on-grid points are exact
+			q := p.SurviveQ(tt)
+			r := p.SurviveReal(tt)
+			if math.Abs(q-r) > 1e-12 {
+				t.Fatalf("on-grid SurviveQ(%v) = %v, real %v", tt, q, r)
+			}
+		}
+		// Off-grid points are within the neighbouring grid values.
+		for i := 1; i < 200; i++ {
+			tt := float64(i)*0.25 + 0.11
+			q := p.SurviveQ(tt)
+			lo := p.SurviveReal(tt + 0.25)
+			hi := p.SurviveReal(tt - 0.25)
+			if q < lo-1e-12 || q > hi+1e-12 {
+				t.Fatalf("SurviveQ(%v) = %v outside [%v, %v]", tt, q, lo, hi)
+			}
+		}
+		if p.SurviveQ(0) != 1 || p.SurviveQ(-1) != 1 {
+			t.Fatal("non-positive time should survive with probability 1")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"tightsched/internal/markov"
+	"tightsched/internal/rng"
+)
+
+// simulateSet runs the joint availability chain of a worker set forward
+// from all-UP and reports, for one episode:
+//
+//	success  — whether the set accumulated w all-UP slots (the slot at
+//	           time 0 counts as the first) before any member went DOWN,
+//	duration — the number of slots from the first compute slot to the
+//	           last, inclusive, when successful.
+func simulateSet(ms []markov.Matrix, w int, stream *rng.Stream) (success bool, duration int) {
+	states := make([]markov.State, len(ms))
+	for i := range states {
+		states[i] = markov.Up
+	}
+	done := 1 // slot 0 computes
+	t := 0
+	for done < w {
+		t++
+		allUp := true
+		for i, m := range ms {
+			states[i] = m.Step(states[i], stream.Float64())
+			switch states[i] {
+			case markov.Down:
+				return false, 0
+			case markov.Reclaimed:
+				allUp = false
+			}
+		}
+		if allUp {
+			done++
+		}
+		if t > 5_000_000 {
+			return false, 0 // defensive; unreachable for test chains
+		}
+	}
+	return true, t + 1
+}
+
+// TestMonteCarloPplus validates P⁺(S) against direct simulation: P⁺ is
+// the probability of reaching the second all-UP slot (w=2) before a
+// failure.
+func TestMonteCarloPplus(t *testing.T) {
+	s := rng.New(21)
+	for trial := 0; trial < 4; trial++ {
+		ms := []markov.Matrix{paperMatrix(s), paperMatrix(s), paperMatrix(s)}
+		pl := NewPlatform(ms, DefaultEps)
+		st := pl.StatsOf([]int{0, 1, 2})
+
+		stream := rng.New(uint64(1000 + trial))
+		const episodes = 60000
+		succ := 0
+		for e := 0; e < episodes; e++ {
+			ok, _ := simulateSet(ms, 2, stream)
+			if ok {
+				succ++
+			}
+		}
+		got := float64(succ) / episodes
+		if math.Abs(got-st.Pplus) > 0.01 {
+			t.Fatalf("trial %d: MC P+ = %v, analytic %v", trial, got, st.Pplus)
+		}
+	}
+}
+
+// TestMonteCarloProbSuccess validates (P⁺)^{W−1} as the probability of
+// completing a W-slot workload.
+func TestMonteCarloProbSuccess(t *testing.T) {
+	s := rng.New(22)
+	ms := []markov.Matrix{paperMatrix(s), paperMatrix(s)}
+	pl := NewPlatform(ms, DefaultEps)
+	st := pl.StatsOf([]int{0, 1})
+	const w = 6
+	want := st.ProbSuccess(w)
+
+	stream := rng.New(2001)
+	const episodes = 60000
+	succ := 0
+	for e := 0; e < episodes; e++ {
+		ok, _ := simulateSet(ms, w, stream)
+		if ok {
+			succ++
+		}
+	}
+	got := float64(succ) / episodes
+	if math.Abs(got-want) > 0.012 {
+		t.Fatalf("MC success prob = %v, analytic %v", got, want)
+	}
+}
+
+// TestMonteCarloExpectedCompletion is the reproduction ablation for the
+// E(S)(W) closed form: the renewal form 1 + (W−1)·Ec/P⁺ must match the
+// simulated conditional expectation; the formula as printed in the paper,
+// 1 + (W−1)·Ec/(P⁺)^{W−1}, overestimates it for W > 2 whenever P⁺ < 1.
+func TestMonteCarloExpectedCompletion(t *testing.T) {
+	s := rng.New(23)
+	ms := []markov.Matrix{paperMatrix(s), paperMatrix(s)}
+	pl := NewPlatform(ms, DefaultEps)
+	st := pl.StatsOf([]int{0, 1})
+
+	for _, w := range []int{2, 5, 10} {
+		stream := rng.New(uint64(3000 + w))
+		sum, n := 0.0, 0
+		for e := 0; e < 400000 && n < 30000; e++ {
+			ok, d := simulateSet(ms, w, stream)
+			if ok {
+				sum += float64(d)
+				n++
+			}
+		}
+		if n < 1000 {
+			t.Fatalf("W=%d: too few successful episodes (%d) to estimate", w, n)
+		}
+		mc := sum / float64(n)
+		renewal := st.ExpectedCompletion(w)
+		if math.Abs(mc-renewal)/renewal > 0.03 {
+			t.Fatalf("W=%d: MC E = %v, renewal form %v (rel err > 3%%)", w, mc, renewal)
+		}
+		if w > 2 {
+			paper := st.ExpectedCompletionPaper(w)
+			if paper <= renewal {
+				t.Fatalf("W=%d: paper form %v should exceed renewal form %v when P+<1",
+					w, paper, renewal)
+			}
+		}
+	}
+}
+
+// TestMonteCarloSingletonEc validates the singleton gap expectation:
+// conditional expected gap Ec/P⁺ equals the mean simulated time between
+// consecutive UP slots with no DOWN in between.
+func TestMonteCarloSingletonEc(t *testing.T) {
+	s := rng.New(24)
+	m := paperMatrix(s)
+	pl := NewPlatform([]markov.Matrix{m}, DefaultEps)
+	p := pl.Procs[0]
+
+	stream := rng.New(4001)
+	sum, n := 0.0, 0
+	for e := 0; e < 200000; e++ {
+		st := markov.Up
+		for t := 1; ; t++ {
+			st = m.Step(st, stream.Float64())
+			if st == markov.Down {
+				break
+			}
+			if st == markov.Up {
+				sum += float64(t)
+				n++
+				break
+			}
+			if t > 100000 {
+				break
+			}
+		}
+	}
+	mc := sum / float64(n)
+	want := p.Ec() / p.Pplus()
+	if math.Abs(mc-want)/want > 0.02 {
+		t.Fatalf("MC conditional gap = %v, analytic Ec/P+ = %v", mc, want)
+	}
+}

@@ -1,0 +1,129 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestApplicationValidate(t *testing.T) {
+	good := Application{Tasks: 5, Tprog: 10, Tdata: 2, Iterations: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Communication-free applications are legal (off-line instances).
+	free := Application{Tasks: 1, Iterations: 1}
+	if err := free.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Application{
+		{Tasks: 0, Iterations: 1},
+		{Tasks: 1, Tprog: -1, Iterations: 1},
+		{Tasks: 1, Tdata: -1, Iterations: 1},
+		{Tasks: 1, Iterations: 0},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("accepted invalid application %+v", bad)
+		}
+	}
+}
+
+func TestAssignmentBasics(t *testing.T) {
+	as := Assignment{0, 2, 1, 0}
+	if as.TaskCount() != 3 {
+		t.Fatalf("task count %d", as.TaskCount())
+	}
+	en := as.Enrolled()
+	if len(en) != 2 || en[0] != 1 || en[1] != 2 {
+		t.Fatalf("enrolled %v", en)
+	}
+	c := as.Clone()
+	c[1] = 9
+	if as[1] != 2 {
+		t.Fatal("Clone aliases the original")
+	}
+	if !as.Equal(Assignment{0, 2, 1, 0}) || as.Equal(c) || as.Equal(Assignment{0, 2, 1}) {
+		t.Fatal("Equal misbehaves")
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	speeds := []int{1, 2, 3, 4}
+	// Worker 1 runs 2 tasks at speed 2 (4 slots); worker 2 runs 2 at
+	// speed 3 (6 slots); worker 3 runs 1 at speed 4. This is the paper's
+	// Figure 1 configuration: W = 6.
+	as := Assignment{0, 2, 2, 1}
+	if w := as.Workload(speeds); w != 6 {
+		t.Fatalf("workload %d, want 6", w)
+	}
+	if w := (Assignment{0, 0, 0, 0}).Workload(speeds); w != 0 {
+		t.Fatalf("empty workload %d", w)
+	}
+}
+
+func TestWorkloadSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	Assignment{1}.Workload([]int{1, 2})
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	caps := []int{1, 2, 2}
+	if err := (Assignment{1, 2, 1}).Validate(4, caps); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		as Assignment
+		m  int
+	}{
+		{Assignment{1, 1}, 2},     // wrong length
+		{Assignment{-1, 2, 3}, 4}, // negative
+		{Assignment{2, 0, 0}, 2},  // over capacity
+		{Assignment{1, 1, 1}, 4},  // wrong total
+	}
+	for _, c := range cases {
+		if c.as.Validate(c.m, caps) == nil {
+			t.Fatalf("accepted invalid assignment %v (m=%d)", c.as, c.m)
+		}
+	}
+}
+
+// Property: workload is monotone — adding a task never decreases W, and
+// W is always realized by some enrolled worker.
+func TestWorkloadProperties(t *testing.T) {
+	if err := quick.Check(func(xsRaw [6]uint8, q uint8, speedsRaw [6]uint8) bool {
+		as := make(Assignment, 6)
+		speeds := make([]int, 6)
+		for i := range as {
+			as[i] = int(xsRaw[i] % 4)
+			speeds[i] = int(speedsRaw[i]%9) + 1
+		}
+		w := as.Workload(speeds)
+		// Realizability.
+		if w != 0 {
+			found := false
+			for i, x := range as {
+				if x > 0 && x*speeds[i] == w {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Monotonicity.
+		bumped := as.Clone()
+		bumped[int(q)%6]++
+		return bumped.Workload(speeds) >= w
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	if (Assignment{1, 0}).String() != "Assignment[1 0]" {
+		t.Fatalf("string form %q", Assignment{1, 0}.String())
+	}
+}

@@ -1,0 +1,213 @@
+// Package core is the high-level API of the tightsched library: it ties
+// the platform model, the application model, the Section V analytic
+// estimators, the Section VI heuristics and the discrete-event simulator
+// into a few one-call entry points used by the command-line tools, the
+// examples, and the public tightsched package.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tightsched/internal/analytic"
+	"tightsched/internal/app"
+	"tightsched/internal/platform"
+	"tightsched/internal/rng"
+	"tightsched/internal/sched"
+	"tightsched/internal/sim"
+	"tightsched/internal/stats"
+	"tightsched/internal/trace"
+)
+
+// Scenario bundles a platform and an application: everything that defines
+// a scheduling problem except the availability realization.
+type Scenario struct {
+	Platform *platform.Platform
+	App      app.Application
+}
+
+// Validate checks both halves of the scenario.
+func (sc Scenario) Validate() error {
+	if sc.Platform == nil {
+		return fmt.Errorf("core: scenario has no platform")
+	}
+	if err := sc.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := sc.App.Validate(); err != nil {
+		return err
+	}
+	if sc.Platform.TotalCapacity() < sc.App.Tasks {
+		return fmt.Errorf("core: platform capacity below %d tasks", sc.App.Tasks)
+	}
+	return nil
+}
+
+// PaperScenario draws a random scenario with the Section VII.A parameters:
+// p = 20 processors, self-loop probabilities uniform in [0.90, 0.99),
+// w_q ~ U[wmin, 10·wmin], Tdata = wmin, Tprog = 5·wmin, 10 iterations.
+func PaperScenario(m, ncom, wmin int, seed uint64) Scenario {
+	pl := platform.GeneratePaper(platform.DefaultPaperConfig(wmin, ncom), rng.New(seed))
+	return Scenario{
+		Platform: pl,
+		App: app.Application{
+			Tasks:      m,
+			Tprog:      5 * wmin,
+			Tdata:      wmin,
+			Iterations: 10,
+		},
+	}
+}
+
+// Heuristics returns the names of the paper's 17 heuristics.
+func Heuristics() []string { return sched.Names() }
+
+// Options tune a single simulation run.
+type Options struct {
+	// Seed drives the availability realization and randomized decisions.
+	Seed uint64
+	// Cap is the failure limit in slots (sim.DefaultCap when 0).
+	Cap int64
+	// InitialAllUp starts all processors UP instead of at stationarity.
+	InitialAllUp bool
+	// Recorder, when non-nil, captures a per-slot execution trace.
+	Recorder *trace.Recorder
+	// Custom heuristic to run instead of a named one.
+	Custom sched.Heuristic
+}
+
+// Run simulates the scenario under the named heuristic.
+func Run(sc Scenario, heuristic string, opt Options) (sim.Result, error) {
+	if err := sc.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(sim.Config{
+		Platform:     sc.Platform,
+		App:          sc.App,
+		Heuristic:    heuristic,
+		Custom:       opt.Custom,
+		Seed:         opt.Seed,
+		Cap:          opt.Cap,
+		InitialAllUp: opt.InitialAllUp,
+		Recorder:     opt.Recorder,
+	})
+}
+
+// HeuristicSummary aggregates one heuristic's results over trials.
+type HeuristicSummary struct {
+	Heuristic string
+	// Fails counts trials that hit the cap.
+	Fails int
+	// Makespan summarizes the makespans of succeeding trials.
+	Makespan stats.Summary
+	// MeanRestarts and MeanReconfigs average over all trials.
+	MeanRestarts  float64
+	MeanReconfigs float64
+}
+
+// Compare runs several heuristics over the same set of availability
+// realizations (one per trial seed) and summarizes each. Runs execute in
+// parallel; results are deterministic.
+func Compare(sc Scenario, heuristics []string, trials int, baseSeed uint64, opt Options) ([]HeuristicSummary, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("core: %d trials", trials)
+	}
+	if len(heuristics) == 0 {
+		heuristics = Heuristics()
+	}
+	type job struct{ h, trial int }
+	jobs := make([]job, 0, len(heuristics)*trials)
+	for h := range heuristics {
+		for tr := 0; tr < trials; tr++ {
+			jobs = append(jobs, job{h, tr})
+		}
+	}
+	results := make([]sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(sc, heuristics[j.h], Options{
+				Seed:         rng.NewKeyed(baseSeed, uint64(j.trial)).Uint64(),
+				Cap:          opt.Cap,
+				InitialAllUp: opt.InitialAllUp,
+			})
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]HeuristicSummary, len(heuristics))
+	for h, name := range heuristics {
+		var makespans []float64
+		fails := 0
+		var restarts, reconfigs float64
+		for tr := 0; tr < trials; tr++ {
+			res := results[h*trials+tr]
+			if res.Failed {
+				fails++
+			} else {
+				makespans = append(makespans, float64(res.Makespan))
+			}
+			restarts += float64(res.Restarts)
+			reconfigs += float64(res.Reconfigs)
+		}
+		out[h] = HeuristicSummary{
+			Heuristic:     name,
+			Fails:         fails,
+			Makespan:      stats.Summarize(makespans),
+			MeanRestarts:  restarts / float64(trials),
+			MeanReconfigs: reconfigs / float64(trials),
+		}
+	}
+	return out, nil
+}
+
+// SetEstimate exposes the Section V approximations for a worker set of a
+// scenario: the probability P⁺ that the set is simultaneously UP again
+// before a failure, the success probability and conditional expected
+// duration of a W-slot coupled computation.
+type SetEstimate struct {
+	Pplus            float64
+	SuccessProb      float64
+	ExpectedDuration float64
+}
+
+// Estimate computes the Section V quantities for the given workers of the
+// scenario's platform executing a workload of w coupled compute slots.
+func Estimate(sc Scenario, workers []int, w int) (SetEstimate, error) {
+	if err := sc.Validate(); err != nil {
+		return SetEstimate{}, err
+	}
+	if len(workers) == 0 {
+		return SetEstimate{}, fmt.Errorf("core: empty worker set")
+	}
+	for _, q := range workers {
+		if q < 0 || q >= sc.Platform.Size() {
+			return SetEstimate{}, fmt.Errorf("core: worker %d out of range", q)
+		}
+	}
+	if w <= 0 {
+		return SetEstimate{}, fmt.Errorf("core: workload %d", w)
+	}
+	pl := analytic.NewPlatform(sc.Platform.Matrices(), analytic.DefaultEps)
+	st := pl.StatsOf(workers)
+	return SetEstimate{
+		Pplus:            st.Pplus,
+		SuccessProb:      st.ProbSuccess(w),
+		ExpectedDuration: st.ExpectedCompletion(w),
+	}, nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+	"tightsched/internal/sched"
+	"tightsched/internal/trace"
+)
+
+func TestPaperScenarioShape(t *testing.T) {
+	sc := PaperScenario(5, 10, 3, 42)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Platform.Size() != 20 || sc.Platform.Ncom != 10 {
+		t.Fatalf("platform: %d procs, ncom %d", sc.Platform.Size(), sc.Platform.Ncom)
+	}
+	if sc.App.Tasks != 5 || sc.App.Tprog != 15 || sc.App.Tdata != 3 || sc.App.Iterations != 10 {
+		t.Fatalf("application: %+v", sc.App)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if (Scenario{}).Validate() == nil {
+		t.Fatal("empty scenario accepted")
+	}
+	sc := PaperScenario(5, 10, 1, 1)
+	sc.App.Tasks = 0
+	if sc.Validate() == nil {
+		t.Fatal("invalid app accepted")
+	}
+	tiny := Scenario{
+		Platform: platform.Homogeneous(1, 1, 1, 1, markov.Uniform(0.9)),
+		App:      app.Application{Tasks: 5, Iterations: 1},
+	}
+	if tiny.Validate() == nil {
+		t.Fatal("under-capacity scenario accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	sc := PaperScenario(3, 10, 1, 7)
+	rec := &trace.Recorder{}
+	res, err := Run(sc, "Y-IE", Options{Seed: 5, Cap: 100000, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.Completed != 10 {
+		t.Fatalf("run: %+v", res)
+	}
+	if rec.Len() == 0 || int64(rec.Len()) != res.Makespan {
+		t.Fatalf("trace length %d vs makespan %d", rec.Len(), res.Makespan)
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if _, err := Run(Scenario{}, "IE", Options{}); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	sc := PaperScenario(3, 10, 1, 7)
+	if _, err := Run(sc, "NOPE", Options{}); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestHeuristicsList(t *testing.T) {
+	if len(Heuristics()) != 17 {
+		t.Fatalf("got %d heuristics", len(Heuristics()))
+	}
+}
+
+func TestCompare(t *testing.T) {
+	sc := PaperScenario(3, 10, 1, 9)
+	sums, err := Compare(sc, []string{"IE", "RANDOM"}, 3, 11, Options{Cap: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 || sums[0].Heuristic != "IE" || sums[1].Heuristic != "RANDOM" {
+		t.Fatalf("summaries: %+v", sums)
+	}
+	for _, s := range sums {
+		if s.Fails+s.Makespan.N != 3 {
+			t.Fatalf("%s: fails %d + makespans %d != trials", s.Heuristic, s.Fails, s.Makespan.N)
+		}
+	}
+	// Deterministic.
+	again, err := Compare(sc, []string{"IE", "RANDOM"}, 3, 11, Options{Cap: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sums {
+		if sums[i].Makespan.Mean != again[i].Makespan.Mean {
+			t.Fatal("Compare not deterministic")
+		}
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	sc := PaperScenario(3, 10, 1, 9)
+	if _, err := Compare(sc, nil, 0, 1, Options{}); err == nil {
+		t.Fatal("0 trials accepted")
+	}
+	if _, err := Compare(Scenario{}, nil, 1, 1, Options{}); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	if _, err := Compare(sc, []string{"NOPE"}, 1, 1, Options{Cap: 1000}); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestCompareDefaultsToAllHeuristics(t *testing.T) {
+	sc := PaperScenario(2, 20, 1, 13)
+	sums, err := Compare(sc, nil, 1, 3, Options{Cap: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 17 {
+		t.Fatalf("got %d summaries, want 17", len(sums))
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	sc := PaperScenario(5, 10, 1, 21)
+	est, err := Estimate(sc, []int{0, 1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Pplus <= 0 || est.Pplus >= 1 {
+		t.Fatalf("Pplus = %v", est.Pplus)
+	}
+	if est.SuccessProb <= 0 || est.SuccessProb > est.Pplus {
+		t.Fatalf("SuccessProb = %v", est.SuccessProb)
+	}
+	if est.ExpectedDuration < 5 {
+		t.Fatalf("ExpectedDuration = %v below workload", est.ExpectedDuration)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	sc := PaperScenario(5, 10, 1, 21)
+	cases := []struct {
+		workers []int
+		w       int
+	}{
+		{nil, 5},
+		{[]int{0}, 0},
+		{[]int{99}, 5},
+		{[]int{-1}, 5},
+	}
+	for i, c := range cases {
+		if _, err := Estimate(sc, c.workers, c.w); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if _, err := Estimate(Scenario{}, []int{0}, 1); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestRunWithCustomHeuristic(t *testing.T) {
+	sc := Scenario{
+		Platform: platform.Homogeneous(3, 1, platform.UnboundedCapacity, 3, markov.AlwaysUp()),
+		App:      app.Application{Tasks: 3, Tprog: 1, Tdata: 1, Iterations: 2},
+	}
+	custom := &everythingOnAll{}
+	res, err := Run(sc, "", Options{Custom: custom, Cap: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.Heuristic != "ALL" {
+		t.Fatalf("custom run: %+v", res)
+	}
+}
+
+// everythingOnAll enrolls every processor with one task.
+type everythingOnAll struct{}
+
+func (e *everythingOnAll) Name() string { return "ALL" }
+
+func (e *everythingOnAll) Decide(v *sched.View) app.Assignment {
+	if v.Current != nil {
+		return v.Current
+	}
+	asg := make(app.Assignment, len(v.States))
+	for q := range asg {
+		if v.States[q] != markov.Up {
+			return nil
+		}
+		asg[q] = 1
+	}
+	return asg
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV dumps the raw instance results as CSV (header row included):
+// ncom, wmin, scenario, trial, heuristic, makespan, failed. The format is
+// meant for external plotting of Figure 2-style series.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ncom", "wmin", "scenario", "trial", "heuristic", "makespan", "failed"}); err != nil {
+		return err
+	}
+	for _, inst := range r.Instances {
+		rec := []string{
+			strconv.Itoa(inst.Point.Ncom),
+			strconv.Itoa(inst.Point.Wmin),
+			strconv.Itoa(inst.Point.Scenario),
+			strconv.Itoa(inst.Trial),
+			inst.Heuristic,
+			strconv.FormatInt(inst.Makespan, 10),
+			strconv.FormatBool(inst.Failed),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses results written by WriteCSV back into a Result (with an
+// empty Sweep: the CSV carries instances, not campaign metadata).
+func ReadCSV(r io.Reader) (*Result, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("exp: empty CSV")
+	}
+	out := &Result{}
+	wmins := map[int]bool{}
+	for i, row := range rows[1:] {
+		if len(row) != 7 {
+			return nil, fmt.Errorf("exp: row %d has %d fields, want 7", i+2, len(row))
+		}
+		ncom, err1 := strconv.Atoi(row[0])
+		wmin, err2 := strconv.Atoi(row[1])
+		scen, err3 := strconv.Atoi(row[2])
+		trial, err4 := strconv.Atoi(row[3])
+		mk, err5 := strconv.ParseInt(row[5], 10, 64)
+		failed, err6 := strconv.ParseBool(row[6])
+		for _, e := range []error{err1, err2, err3, err4, err5, err6} {
+			if e != nil {
+				return nil, fmt.Errorf("exp: row %d: %w", i+2, e)
+			}
+		}
+		out.Instances = append(out.Instances, InstanceResult{
+			Point:     Point{Ncom: ncom, Wmin: wmin, Scenario: scen},
+			Trial:     trial,
+			Heuristic: row[4],
+			Makespan:  mk,
+			Failed:    failed,
+		})
+		wmins[wmin] = true
+	}
+	for w := range wmins {
+		out.Sweep.Wmins = append(out.Sweep.Wmins, w)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := &Result{
+		Instances: []InstanceResult{
+			{Point: Point{5, 1, 0}, Trial: 0, Heuristic: "IE", Makespan: 123},
+			{Point: Point{5, 2, 1}, Trial: 1, Heuristic: "Y-IE", Makespan: 99},
+			{Point: Point{10, 1, 0}, Trial: 0, Heuristic: "RANDOM", Makespan: 100000, Failed: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Instances) != len(orig.Instances) {
+		t.Fatalf("round trip lost instances: %d vs %d", len(back.Instances), len(orig.Instances))
+	}
+	for i := range orig.Instances {
+		if back.Instances[i] != orig.Instances[i] {
+			t.Fatalf("instance %d: %+v != %+v", i, back.Instances[i], orig.Instances[i])
+		}
+	}
+	ws := append([]int(nil), back.Sweep.Wmins...)
+	sort.Ints(ws)
+	if len(ws) != 2 || ws[0] != 1 || ws[1] != 2 {
+		t.Fatalf("recovered wmins %v", ws)
+	}
+}
+
+func TestCSVHeaderAndShape(t *testing.T) {
+	res := &Result{Instances: []InstanceResult{{Heuristic: "IE", Makespan: 1}}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected header + 1 row, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "ncom,wmin,") {
+		t.Fatalf("header: %q", lines[0])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for name, data := range map[string]string{
+		"empty":      "",
+		"bad int":    "ncom,wmin,scenario,trial,heuristic,makespan,failed\nx,1,0,0,IE,5,false\n",
+		"bad bool":   "ncom,wmin,scenario,trial,heuristic,makespan,failed\n5,1,0,0,IE,5,maybe\n",
+		"bad fields": "ncom,wmin\n5,1\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}

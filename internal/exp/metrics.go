@@ -1,0 +1,255 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tightsched/internal/stats"
+)
+
+// ReferenceHeuristic is the comparison baseline of Section VII: IE is the
+// most robust heuristic (whenever it fails, everything fails), so all
+// relative metrics are computed against it.
+const ReferenceHeuristic = "IE"
+
+// TableRow is one aggregated line of Table I / Table II.
+type TableRow struct {
+	Heuristic string
+	// Fails counts instances (scenario × trial) the heuristic failed.
+	Fails int
+	// Diff is the mean over scenarios of the paper's relative difference
+	//   (makespan_H − makespan_ref) / min(makespan_H, makespan_ref),
+	// in percent, with per-scenario makespans averaged over succeeding
+	// trials. Negative is better than the reference.
+	Diff float64
+	// Wins is the percentage of trials with makespan_H <= makespan_ref.
+	Wins float64
+	// Wins30 is the percentage of trials with
+	// makespan_H <= 1.3 · makespan_ref.
+	Wins30 float64
+	// Stdv is the standard deviation of the per-scenario relative
+	// difference (in the paper's units: 1.0 = 100%).
+	Stdv float64
+}
+
+// scenarioKey groups instances of one scenario draw.
+type scenarioKey struct {
+	Ncom, Wmin, Scenario int
+}
+
+// Table aggregates the campaign into rows sorted by %diff ascending (the
+// paper's ordering: best heuristics first). ref names the reference
+// heuristic, normally ReferenceHeuristic.
+func (r *Result) Table(ref string) ([]TableRow, error) {
+	return r.tableFiltered(ref, nil)
+}
+
+// TableForWmin aggregates only the instances with the given wmin; it is
+// the slicing behind Figure 2.
+func (r *Result) TableForWmin(ref string, wmin int) ([]TableRow, error) {
+	return r.tableFiltered(ref, func(p Point) bool { return p.Wmin == wmin })
+}
+
+func (r *Result) tableFiltered(ref string, keep func(Point) bool) ([]TableRow, error) {
+	type cell struct {
+		sum   float64 // Σ makespans over succeeding trials
+		n     int     // succeeding trials
+		fails int
+		all   map[int]float64 // trial -> makespan (capped for fails)
+	}
+	perHeur := map[string]map[scenarioKey]*cell{}
+	names := map[string]bool{}
+	for _, inst := range r.Instances {
+		if keep != nil && !keep(inst.Point) {
+			continue
+		}
+		names[inst.Heuristic] = true
+		key := scenarioKey{inst.Point.Ncom, inst.Point.Wmin, inst.Point.Scenario}
+		byScen := perHeur[inst.Heuristic]
+		if byScen == nil {
+			byScen = map[scenarioKey]*cell{}
+			perHeur[inst.Heuristic] = byScen
+		}
+		c := byScen[key]
+		if c == nil {
+			c = &cell{all: map[int]float64{}}
+			byScen[key] = c
+		}
+		c.all[inst.Trial] = float64(inst.Makespan)
+		if inst.Failed {
+			c.fails++
+		} else {
+			c.sum += float64(inst.Makespan)
+			c.n++
+		}
+	}
+	refCells, ok := perHeur[ref]
+	if !ok {
+		return nil, fmt.Errorf("exp: reference heuristic %q not in results", ref)
+	}
+
+	var rows []TableRow
+	for name, byScen := range perHeur {
+		row := TableRow{Heuristic: name}
+		var diffs []float64
+		wins, wins30, trials := 0, 0, 0
+		for key, c := range byScen {
+			row.Fails += c.fails
+			refC := refCells[key]
+			if refC == nil {
+				continue
+			}
+			// Per-trial win counting on capped makespans.
+			for trial, mk := range c.all {
+				refMk, ok := refC.all[trial]
+				if !ok {
+					continue
+				}
+				trials++
+				if mk <= refMk {
+					wins++
+				}
+				if mk <= 1.3*refMk {
+					wins30++
+				}
+			}
+			// Per-scenario relative difference over succeeding trials.
+			if c.n > 0 && refC.n > 0 {
+				mH := c.sum / float64(c.n)
+				mRef := refC.sum / float64(refC.n)
+				den := mH
+				if mRef < den {
+					den = mRef
+				}
+				if den > 0 {
+					diffs = append(diffs, (mH-mRef)/den)
+				}
+			}
+		}
+		if len(diffs) > 0 {
+			row.Diff = 100 * stats.Mean(diffs)
+			row.Stdv = stats.Stdev(diffs)
+		}
+		if trials > 0 {
+			row.Wins = 100 * float64(wins) / float64(trials)
+			row.Wins30 = 100 * float64(wins30) / float64(trials)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Diff != rows[j].Diff {
+			return rows[i].Diff < rows[j].Diff
+		}
+		return rows[i].Heuristic < rows[j].Heuristic
+	})
+	return rows, nil
+}
+
+// RefFailureDominance checks the paper's robustness observation: whenever
+// the reference heuristic fails an instance, does every other heuristic
+// fail it too? It returns the number of counterexample instances.
+func (r *Result) RefFailureDominance(ref string) int {
+	failed := map[string]map[scenarioKey]map[int]bool{}
+	for _, inst := range r.Instances {
+		key := scenarioKey{inst.Point.Ncom, inst.Point.Wmin, inst.Point.Scenario}
+		byScen := failed[inst.Heuristic]
+		if byScen == nil {
+			byScen = map[scenarioKey]map[int]bool{}
+			failed[inst.Heuristic] = byScen
+		}
+		if byScen[key] == nil {
+			byScen[key] = map[int]bool{}
+		}
+		byScen[key][inst.Trial] = inst.Failed
+	}
+	counter := 0
+	for key, trials := range failed[ref] {
+		for trial, refFailed := range trials {
+			if !refFailed {
+				continue
+			}
+			for name, byScen := range failed {
+				if name == ref {
+					continue
+				}
+				if ts, ok := byScen[key]; ok {
+					if f, ok := ts[trial]; ok && !f {
+						counter++
+					}
+				}
+			}
+		}
+	}
+	return counter
+}
+
+// FormatTable renders rows in the paper's Table I/II layout.
+func FormatTable(rows []TableRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %7s %9s %8s %9s %7s\n",
+		"Heuristic", "#fails", "%diff", "%wins", "%wins30", "stdv")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %7d %9.2f %8.2f %9.2f %7.2f\n",
+			r.Heuristic, r.Fails, r.Diff, r.Wins, r.Wins30, r.Stdv)
+	}
+	return b.String()
+}
+
+// SeriesPoint is one (wmin, %diff) sample of a Figure 2 curve.
+type SeriesPoint struct {
+	Wmin int
+	Diff float64 // relative distance to the reference (1.0 = 100%)
+}
+
+// Figure2 computes the %diff-versus-wmin curves of Figure 2 (one per
+// heuristic, relative distance as a fraction like the paper's y-axis).
+func (r *Result) Figure2(ref string) (map[string][]SeriesPoint, error) {
+	wmins := append([]int(nil), r.Sweep.Wmins...)
+	sort.Ints(wmins)
+	series := map[string][]SeriesPoint{}
+	for _, wmin := range wmins {
+		rows, err := r.TableForWmin(ref, wmin)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			series[row.Heuristic] = append(series[row.Heuristic],
+				SeriesPoint{Wmin: wmin, Diff: row.Diff / 100})
+		}
+	}
+	return series, nil
+}
+
+// FormatFigure2 renders the curves as aligned columns (one row per wmin),
+// restricted to the named heuristics (all, alphabetically, when nil).
+func FormatFigure2(series map[string][]SeriesPoint, names []string) string {
+	if names == nil {
+		for n := range series {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "wmin")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %10s", n)
+	}
+	b.WriteByte('\n')
+	if len(names) == 0 || len(series[names[0]]) == 0 {
+		return b.String()
+	}
+	for i, pt := range series[names[0]] {
+		fmt.Fprintf(&b, "%-6d", pt.Wmin)
+		for _, n := range names {
+			pts := series[n]
+			if i < len(pts) {
+				fmt.Fprintf(&b, " %10.3f", pts[i].Diff)
+			} else {
+				fmt.Fprintf(&b, " %10s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

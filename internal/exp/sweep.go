@@ -1,0 +1,280 @@
+// Package exp is the experiment harness for Section VII: it generates the
+// paper's synthetic scenario space, runs every (scenario, trial,
+// heuristic) instance through the simulator — in parallel across
+// goroutines with independent deterministic seeds — and aggregates the
+// paper's metrics (#fails, %diff, %wins, %wins30, stdv) into Table I,
+// Table II and the Figure 2 series.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tightsched/internal/app"
+	"tightsched/internal/platform"
+	"tightsched/internal/rng"
+	"tightsched/internal/sched"
+	"tightsched/internal/sim"
+)
+
+// Sweep describes one experimental campaign (Section VII.A).
+type Sweep struct {
+	// M is the number of tasks per iteration (the paper uses 5 and 10).
+	M int
+	// Ncoms are the master communication capacities to sweep ({5,10,20}).
+	Ncoms []int
+	// Wmins are the minimum per-task speeds to sweep ({1..10}); for each,
+	// w_q ~ U[wmin, 10·wmin], Tdata = wmin, Tprog = 5·wmin.
+	Wmins []int
+	// Scenarios is the number of random scenarios per (ncom, wmin) point.
+	Scenarios int
+	// Trials is the number of availability realizations per scenario.
+	Trials int
+	// P is the platform size (the paper uses 20).
+	P int
+	// Iterations is the number of application iterations (10).
+	Iterations int
+	// Cap is the failure limit in slots (the paper uses 1,000,000).
+	Cap int64
+	// Seed is the master seed; everything else derives from it.
+	Seed uint64
+	// Heuristics to run (sched.Names() when nil).
+	Heuristics []string
+	// Workers bounds the number of parallel simulations (NumCPU when 0).
+	Workers int
+	// InitialAllUp starts processors UP instead of at stationarity.
+	InitialAllUp bool
+}
+
+// PaperSweep returns the full Section VII campaign for m tasks:
+// 3 ncom × 10 wmin × 10 scenarios × 10 trials = 3,000 instances, each run
+// under all 17 heuristics. This is hours of CPU; see QuickSweep.
+func PaperSweep(m int) Sweep {
+	return Sweep{
+		M:          m,
+		Ncoms:      []int{5, 10, 20},
+		Wmins:      []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		Scenarios:  10,
+		Trials:     10,
+		P:          20,
+		Iterations: 10,
+		Cap:        sim.DefaultCap,
+		Seed:       20130522, // HCW 2013
+	}
+}
+
+// QuickSweep returns a reduced campaign that preserves the sweep's shape
+// (all three ncom values, the full wmin range) at a fraction of the cost:
+// fewer scenarios/trials and a lower failure cap. Rankings of the leading
+// heuristics are stable at this scale; absolute %diff values are noisier.
+func QuickSweep(m int) Sweep {
+	s := PaperSweep(m)
+	s.Scenarios = 2
+	s.Trials = 2
+	s.Cap = 100_000
+	return s
+}
+
+// Validate checks the campaign parameters.
+func (s *Sweep) Validate() error {
+	if s.M <= 0 || s.P <= 0 || s.Iterations <= 0 || s.Cap <= 0 {
+		return fmt.Errorf("exp: invalid sweep %+v", s)
+	}
+	if len(s.Ncoms) == 0 || len(s.Wmins) == 0 || s.Scenarios <= 0 || s.Trials <= 0 {
+		return fmt.Errorf("exp: empty sweep dimensions %+v", s)
+	}
+	known := append(sched.Names(), sched.ExtendedNames()...)
+	for _, h := range s.heuristics() {
+		found := false
+		for _, k := range known {
+			if h == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("exp: unknown heuristic %q", h)
+		}
+	}
+	return nil
+}
+
+func (s *Sweep) heuristics() []string {
+	if len(s.Heuristics) > 0 {
+		return s.Heuristics
+	}
+	return sched.Names()
+}
+
+// InstanceCount returns the number of (point, scenario, trial) instances,
+// not counting the heuristic dimension.
+func (s *Sweep) InstanceCount() int {
+	return len(s.Ncoms) * len(s.Wmins) * s.Scenarios * s.Trials
+}
+
+// Point identifies one scenario draw within the sweep.
+type Point struct {
+	Ncom     int
+	Wmin     int
+	Scenario int
+}
+
+// InstanceResult is the outcome of one (point, trial, heuristic) run.
+type InstanceResult struct {
+	Point     Point
+	Trial     int
+	Heuristic string
+	Makespan  int64
+	Failed    bool
+}
+
+// Result holds the raw outcomes of a campaign.
+type Result struct {
+	Sweep     Sweep
+	Instances []InstanceResult
+}
+
+// scenarioPlatform deterministically regenerates the platform of a point.
+func (s *Sweep) scenarioPlatform(pt Point) *platform.Platform {
+	stream := rng.NewKeyed(s.Seed, uint64(s.M), uint64(pt.Ncom), uint64(pt.Wmin), uint64(pt.Scenario))
+	cfg := platform.PaperConfig{P: s.P, Wmin: pt.Wmin, Ncom: pt.Ncom, StayLo: 0.90, StayHi: 0.99}
+	return platform.GeneratePaper(cfg, stream)
+}
+
+// trialSeed derives the availability seed of one trial. It does not depend
+// on the heuristic: every heuristic sees the same realization.
+func (s *Sweep) trialSeed(pt Point, trial int) uint64 {
+	return rng.NewKeyed(s.Seed, 0x7e57, uint64(s.M), uint64(pt.Ncom),
+		uint64(pt.Wmin), uint64(pt.Scenario), uint64(trial)).Uint64()
+}
+
+// application returns the application of a point (Tdata = wmin,
+// Tprog = 5·wmin, so the fastest possible processor has a
+// computation-to-communication ratio of 1, per Section VII.A).
+func (s *Sweep) application(wmin int) app.Application {
+	return app.Application{
+		Tasks:      s.M,
+		Tprog:      5 * wmin,
+		Tdata:      wmin,
+		Iterations: s.Iterations,
+	}
+}
+
+// Run executes the campaign. Instances are distributed over a worker pool;
+// results are deterministic and order-independent. The optional progress
+// callback receives (completed, total) counts.
+func Run(sweep Sweep, progress func(done, total int)) (*Result, error) {
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	heuristics := sweep.heuristics()
+
+	type job struct {
+		pt    Point
+		trial int
+		h     string
+	}
+	var jobs []job
+	for _, ncom := range sweep.Ncoms {
+		for _, wmin := range sweep.Wmins {
+			for sc := 0; sc < sweep.Scenarios; sc++ {
+				for tr := 0; tr < sweep.Trials; tr++ {
+					for _, h := range heuristics {
+						jobs = append(jobs, job{Point{ncom, wmin, sc}, tr, h})
+					}
+				}
+			}
+		}
+	}
+
+	workers := sweep.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	jobCh := make(chan int)
+	results := make([]InstanceResult, len(jobs))
+	errCh := make(chan error, workers)
+	var done sync.WaitGroup
+	var mu sync.Mutex
+	completed := 0
+
+	for w := 0; w < workers; w++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			for idx := range jobCh {
+				j := jobs[idx]
+				pl := sweep.scenarioPlatform(j.pt)
+				res, err := sim.Run(sim.Config{
+					Platform:     pl,
+					App:          sweep.application(j.pt.Wmin),
+					Heuristic:    j.h,
+					Seed:         sweep.trialSeed(j.pt, j.trial),
+					Cap:          sweep.Cap,
+					InitialAllUp: sweep.InitialAllUp,
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				results[idx] = InstanceResult{
+					Point:     j.pt,
+					Trial:     j.trial,
+					Heuristic: j.h,
+					Makespan:  res.Makespan,
+					Failed:    res.Failed,
+				}
+				if progress != nil {
+					mu.Lock()
+					completed++
+					c := completed
+					mu.Unlock()
+					progress(c, len(jobs))
+				}
+			}
+		}()
+	}
+
+	for idx := range jobs {
+		select {
+		case err := <-errCh:
+			close(jobCh)
+			done.Wait()
+			return nil, err
+		case jobCh <- idx:
+		}
+	}
+	close(jobCh)
+	done.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	// Stable order: by point, trial, heuristic (jobs were generated in
+	// that order already; keep as-is but document determinism).
+	sort.SliceStable(results, func(a, b int) bool {
+		ra, rb := results[a], results[b]
+		if ra.Point != rb.Point {
+			if ra.Point.Ncom != rb.Point.Ncom {
+				return ra.Point.Ncom < rb.Point.Ncom
+			}
+			if ra.Point.Wmin != rb.Point.Wmin {
+				return ra.Point.Wmin < rb.Point.Wmin
+			}
+			return ra.Point.Scenario < rb.Point.Scenario
+		}
+		if ra.Trial != rb.Trial {
+			return ra.Trial < rb.Trial
+		}
+		return ra.Heuristic < rb.Heuristic
+	})
+	return &Result{Sweep: sweep, Instances: results}, nil
+}

@@ -1,0 +1,245 @@
+// Package markov implements the 3-state processor availability model of
+// Casanova, Dufossé, Robert and Vivien (HCW 2013, Section V).
+//
+// Each processor alternates between three states at discrete time-slots:
+//
+//	UP        — available and computing/communicating normally,
+//	RECLAIMED — temporarily preempted by its owner; work is suspended but
+//	            nothing is lost,
+//	DOWN      — crashed; the program copy, task data and any in-flight
+//	            computation on the processor are lost.
+//
+// Transitions happen independently for each processor at every time-slot
+// according to a time-homogeneous stochastic matrix. The package provides
+// the matrix type, validation, sampling, the stationary distribution, and
+// the "no-DOWN" restricted sub-chain used throughout the paper's Section V
+// analysis: the 2x2 matrix
+//
+//	M = | P(u,u)  P(u,r) |
+//	    | P(r,u)  P(r,r) |
+//
+// whose powers give P(q)_{u->t->u}, the probability that a processor UP at
+// time 0 is UP again at time t without having been DOWN in between, and the
+// survival probability (not DOWN for t slots). Both quantities have closed
+// forms through the eigendecomposition of M, which this package exposes so
+// the analytic layer can evaluate them in O(1) per time point.
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is a processor availability state.
+type State uint8
+
+// The three availability states. The integer values index transition
+// matrices, so they must remain 0, 1, 2.
+const (
+	Up State = iota
+	Reclaimed
+	Down
+
+	// NumStates is the number of availability states.
+	NumStates = 3
+)
+
+// String returns the paper's name for the state.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "UP"
+	case Reclaimed:
+		return "RECLAIMED"
+	case Down:
+		return "DOWN"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Matrix is a 3x3 row-stochastic transition matrix over (Up, Reclaimed,
+// Down): Matrix[i][j] is the probability of moving from state i to state j
+// in one time-slot.
+type Matrix [NumStates][NumStates]float64
+
+// probTol is the tolerance used when validating that rows sum to one.
+const probTol = 1e-9
+
+// Validate reports whether m is a well-formed transition matrix: all
+// entries in [0,1] and each row summing to 1 within tolerance.
+func (m Matrix) Validate() error {
+	for i := 0; i < NumStates; i++ {
+		sum := 0.0
+		for j := 0; j < NumStates; j++ {
+			p := m[i][j]
+			if math.IsNaN(p) || p < -probTol || p > 1+probTol {
+				return fmt.Errorf("markov: entry [%d][%d] = %v outside [0,1]", i, j, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("markov: row %d sums to %v, want 1", i, sum)
+		}
+	}
+	return nil
+}
+
+// Uniform returns the matrix in which every state stays put with
+// probability stay and moves to each other state with probability
+// (1-stay)/2, for all three states. This is the shape used by the paper's
+// experimental scenarios (with stay drawn uniformly in [0.90, 0.99]).
+func Uniform(stay float64) Matrix {
+	if stay < 0 || stay > 1 {
+		panic(fmt.Sprintf("markov: stay probability %v outside [0,1]", stay))
+	}
+	move := (1 - stay) / 2
+	var m Matrix
+	for i := 0; i < NumStates; i++ {
+		for j := 0; j < NumStates; j++ {
+			if i == j {
+				m[i][j] = stay
+			} else {
+				m[i][j] = move
+			}
+		}
+	}
+	return m
+}
+
+// PerState returns the matrix where state i stays put with probability
+// stay[i] and moves to each of the two other states with probability
+// (1-stay[i])/2. This matches the paper's scenario generator, which draws
+// an independent self-loop probability for each state.
+func PerState(stayUp, stayReclaimed, stayDown float64) Matrix {
+	stays := [NumStates]float64{stayUp, stayReclaimed, stayDown}
+	var m Matrix
+	for i, s := range stays {
+		if s < 0 || s > 1 {
+			panic(fmt.Sprintf("markov: stay probability %v outside [0,1]", s))
+		}
+		for j := 0; j < NumStates; j++ {
+			if i == j {
+				m[i][j] = s
+			} else {
+				m[i][j] = (1 - s) / 2
+			}
+		}
+	}
+	return m
+}
+
+// AlwaysUp returns the degenerate matrix of a fully reliable, never
+// reclaimed processor. Useful in tests and as a modelling extreme.
+func AlwaysUp() Matrix {
+	var m Matrix
+	m[Up][Up] = 1
+	m[Reclaimed][Up] = 1
+	m[Down][Up] = 1
+	return m
+}
+
+// Step samples the successor of state s using u, a uniform random value in
+// [0,1).
+func (m Matrix) Step(s State, u float64) State {
+	acc := 0.0
+	for j := 0; j < NumStates; j++ {
+		acc += m[s][j]
+		if u < acc {
+			return State(j)
+		}
+	}
+	// Guard against rounding: the row sums to 1 within tolerance, so a
+	// draw past the accumulated mass belongs to the last state with
+	// non-zero probability.
+	for j := NumStates - 1; j >= 0; j-- {
+		if m[s][j] > 0 {
+			return State(j)
+		}
+	}
+	return s
+}
+
+// CanFail reports whether the DOWN state is reachable in one step from UP
+// or RECLAIMED. Under the paper's model a processor participating in a
+// computation only occupies UP and RECLAIMED, so this is exactly the
+// condition under which the probability P+ of eventual simultaneous
+// availability is strictly below 1 (Theorem 5.1).
+func (m Matrix) CanFail() bool {
+	return m[Up][Down] > 0 || m[Reclaimed][Down] > 0
+}
+
+// Stationary returns the stationary distribution pi with pi = pi * M,
+// computed by power iteration. The paper's chains are aperiodic and
+// irreducible (all self-loops positive, all transitions positive), so the
+// iteration converges geometrically. For reducible matrices the result is
+// a stationary distribution reachable from the uniform start.
+func (m Matrix) Stationary() [NumStates]float64 {
+	pi := [NumStates]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	for iter := 0; iter < 10000; iter++ {
+		var next [NumStates]float64
+		for i := 0; i < NumStates; i++ {
+			for j := 0; j < NumStates; j++ {
+				next[j] += pi[i] * m[i][j]
+			}
+		}
+		diff := 0.0
+		for j := 0; j < NumStates; j++ {
+			diff += math.Abs(next[j] - pi[j])
+		}
+		pi = next
+		if diff < 1e-14 {
+			break
+		}
+	}
+	return pi
+}
+
+// Power returns m^t computed by repeated squaring. t must be >= 0;
+// Power(0) is the identity.
+func (m Matrix) Power(t int) Matrix {
+	if t < 0 {
+		panic("markov: negative matrix power")
+	}
+	result := identity()
+	base := m
+	for t > 0 {
+		if t&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+		t >>= 1
+	}
+	return result
+}
+
+// Mul returns the matrix product m * o.
+func (m Matrix) Mul(o Matrix) Matrix {
+	var r Matrix
+	for i := 0; i < NumStates; i++ {
+		for j := 0; j < NumStates; j++ {
+			sum := 0.0
+			for k := 0; k < NumStates; k++ {
+				sum += m[i][k] * o[k][j]
+			}
+			r[i][j] = sum
+		}
+	}
+	return r
+}
+
+func identity() Matrix {
+	var m Matrix
+	for i := 0; i < NumStates; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// String formats the matrix for debugging.
+func (m Matrix) String() string {
+	return fmt.Sprintf("[u:%.4f,%.4f,%.4f | r:%.4f,%.4f,%.4f | d:%.4f,%.4f,%.4f]",
+		m[0][0], m[0][1], m[0][2],
+		m[1][0], m[1][1], m[1][2],
+		m[2][0], m[2][1], m[2][2])
+}

@@ -1,0 +1,270 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tightsched/internal/rng"
+)
+
+// paperMatrix draws a matrix from the paper's experimental distribution:
+// each self-loop uniform in [0.90, 0.99], off-diagonals split evenly.
+func paperMatrix(s *rng.Stream) Matrix {
+	return PerState(s.Uniform(0.90, 0.99), s.Uniform(0.90, 0.99), s.Uniform(0.90, 0.99))
+}
+
+func TestStateString(t *testing.T) {
+	if Up.String() != "UP" || Reclaimed.String() != "RECLAIMED" || Down.String() != "DOWN" {
+		t.Fatal("state names")
+	}
+	if State(9).String() != "State(9)" {
+		t.Fatal("unknown state name")
+	}
+}
+
+func TestUniformValidates(t *testing.T) {
+	m := Uniform(0.95)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m[Up][Up] != 0.95 || math.Abs(m[Up][Down]-0.025) > 1e-12 {
+		t.Fatalf("unexpected entries: %v", m)
+	}
+}
+
+func TestPerStateValidates(t *testing.T) {
+	m := PerState(0.9, 0.95, 0.99)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m[Reclaimed][Reclaimed] != 0.95 {
+		t.Fatal("reclaimed self-loop")
+	}
+	if math.Abs(m[Down][Up]-0.005) > 1e-12 {
+		t.Fatal("down->up probability")
+	}
+}
+
+func TestValidateRejectsBadMatrices(t *testing.T) {
+	bad := Uniform(0.9)
+	bad[0][0] = 0.5 // row no longer sums to 1
+	if bad.Validate() == nil {
+		t.Fatal("accepted row not summing to 1")
+	}
+	bad2 := Uniform(0.9)
+	bad2[1][1] = -0.1
+	bad2[1][0] = 1.1 - bad2[1][2]
+	if bad2.Validate() == nil {
+		t.Fatal("accepted negative entry")
+	}
+	var nan Matrix
+	nan[0][0] = math.NaN()
+	if nan.Validate() == nil {
+		t.Fatal("accepted NaN entry")
+	}
+}
+
+func TestUniformPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(1.5) did not panic")
+		}
+	}()
+	Uniform(1.5)
+}
+
+func TestAlwaysUp(t *testing.T) {
+	m := AlwaysUp()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CanFail() {
+		t.Fatal("AlwaysUp should not be able to fail")
+	}
+	if m.Step(Down, 0.5) != Up {
+		t.Fatal("AlwaysUp should recover immediately")
+	}
+}
+
+func TestCanFail(t *testing.T) {
+	if !Uniform(0.95).CanFail() {
+		t.Fatal("uniform matrix can fail")
+	}
+	// Up <-> Reclaimed only.
+	m := Matrix{
+		{0.9, 0.1, 0},
+		{0.5, 0.5, 0},
+		{0, 0, 1},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CanFail() {
+		t.Fatal("no path to DOWN from live states")
+	}
+}
+
+func TestStepDistribution(t *testing.T) {
+	m := PerState(0.9, 0.8, 0.7)
+	s := rng.New(17)
+	counts := map[State]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[m.Step(Up, s.Float64())]++
+	}
+	for j := 0; j < NumStates; j++ {
+		got := float64(counts[State(j)]) / n
+		if math.Abs(got-m[Up][j]) > 0.01 {
+			t.Fatalf("Step to %v rate %v, want %v", State(j), got, m[Up][j])
+		}
+	}
+}
+
+func TestStepBoundaryDraw(t *testing.T) {
+	m := Uniform(0.9)
+	// A draw of exactly (almost) 1 must still land in a valid state.
+	st := m.Step(Up, math.Nextafter(1, 0))
+	if st > Down {
+		t.Fatalf("boundary draw gave invalid state %v", st)
+	}
+}
+
+func TestStationaryFixedPoint(t *testing.T) {
+	s := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		m := paperMatrix(s)
+		pi := m.Stationary()
+		sum := 0.0
+		var image [NumStates]float64
+		for i := 0; i < NumStates; i++ {
+			sum += pi[i]
+			for j := 0; j < NumStates; j++ {
+				image[j] += pi[i] * m[i][j]
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("stationary does not sum to 1: %v", pi)
+		}
+		for j := 0; j < NumStates; j++ {
+			if math.Abs(image[j]-pi[j]) > 1e-9 {
+				t.Fatalf("pi not a fixed point: %v -> %v", pi, image)
+			}
+		}
+	}
+}
+
+func TestStationarySymmetricUniform(t *testing.T) {
+	// A symmetric per-state matrix with equal self-loops has the uniform
+	// stationary distribution.
+	pi := Uniform(0.9).Stationary()
+	for _, p := range pi {
+		if math.Abs(p-1.0/3) > 1e-9 {
+			t.Fatalf("uniform chain stationary = %v", pi)
+		}
+	}
+}
+
+func TestPowerMatchesIteratedMul(t *testing.T) {
+	m := PerState(0.93, 0.91, 0.96)
+	direct := identity()
+	for tt := 0; tt <= 12; tt++ {
+		pow := m.Power(tt)
+		for i := 0; i < NumStates; i++ {
+			for j := 0; j < NumStates; j++ {
+				if math.Abs(pow[i][j]-direct[i][j]) > 1e-12 {
+					t.Fatalf("Power(%d)[%d][%d] = %v, want %v", tt, i, j, pow[i][j], direct[i][j])
+				}
+			}
+		}
+		direct = direct.Mul(m)
+	}
+}
+
+func TestPowerRowsStochastic(t *testing.T) {
+	if err := quick.Check(func(seed uint32, texp uint8) bool {
+		s := rng.New(uint64(seed))
+		m := paperMatrix(s)
+		p := m.Power(int(texp % 64))
+		return p.Validate() == nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative power did not panic")
+		}
+	}()
+	Uniform(0.9).Power(-1)
+}
+
+func TestSamplerReproducible(t *testing.T) {
+	m := paperMatrix(rng.New(1))
+	a := NewSampler(m, Up, rng.New(77))
+	b := NewSampler(m, Up, rng.New(77))
+	for i := 0; i < 500; i++ {
+		if a.Step() != b.Step() {
+			t.Fatalf("samplers with same seed diverged at slot %d", i)
+		}
+	}
+	if a.Slot() != 500 {
+		t.Fatalf("slot counter = %d", a.Slot())
+	}
+}
+
+func TestSamplerEmpiricalStationary(t *testing.T) {
+	m := PerState(0.95, 0.9, 0.85)
+	pi := m.Stationary()
+	sm := NewSampler(m, Up, rng.New(3))
+	counts := [NumStates]int{}
+	const burn, n = 1000, 400000
+	for i := 0; i < burn; i++ {
+		sm.Step()
+	}
+	for i := 0; i < n; i++ {
+		counts[sm.Step()]++
+	}
+	for j := 0; j < NumStates; j++ {
+		got := float64(counts[j]) / n
+		if math.Abs(got-pi[j]) > 0.02 {
+			t.Fatalf("empirical occupancy of %v = %v, stationary %v", State(j), got, pi[j])
+		}
+	}
+}
+
+func TestTrajectory(t *testing.T) {
+	m := paperMatrix(rng.New(2))
+	tr := Trajectory(m, Reclaimed, rng.New(4), 100)
+	if len(tr) != 100 {
+		t.Fatalf("trajectory length %d", len(tr))
+	}
+	if tr[0] != Reclaimed {
+		t.Fatal("trajectory must start in the start state")
+	}
+	// Reproducible with the same stream seed.
+	tr2 := Trajectory(m, Reclaimed, rng.New(4), 100)
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatalf("trajectory not reproducible at slot %d", i)
+		}
+	}
+}
+
+func TestNewSamplerRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSampler accepted invalid matrix")
+		}
+	}()
+	var bad Matrix
+	NewSampler(bad, Up, rng.New(1))
+}
+
+func TestMatrixString(t *testing.T) {
+	if Uniform(0.9).String() == "" {
+		t.Fatal("empty string form")
+	}
+}

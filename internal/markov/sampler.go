@@ -1,0 +1,49 @@
+package markov
+
+import "tightsched/internal/rng"
+
+// Sampler drives one availability chain forward in time, producing the
+// state vector S_q of the paper slot by slot. It owns a private random
+// stream so that trajectories are reproducible and independent of any
+// scheduling decisions made while they are consumed.
+type Sampler struct {
+	matrix Matrix
+	state  State
+	stream *rng.Stream
+	slot   int
+}
+
+// NewSampler returns a Sampler starting in the given state at slot 0.
+// The caller keeps ownership of the stream; the sampler must be its only
+// consumer for reproducibility.
+func NewSampler(m Matrix, start State, stream *rng.Stream) *Sampler {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return &Sampler{matrix: m, state: start, stream: stream}
+}
+
+// State returns the current state (the state at the current slot).
+func (s *Sampler) State() State { return s.state }
+
+// Slot returns the index of the current slot.
+func (s *Sampler) Slot() int { return s.slot }
+
+// Step advances the chain by one slot and returns the new state.
+func (s *Sampler) Step() State {
+	s.state = s.matrix.Step(s.state, s.stream.Float64())
+	s.slot++
+	return s.state
+}
+
+// Trajectory samples a fresh trajectory of n states (the state at slots
+// 0..n-1, the first being the start state) without disturbing the sampler.
+func Trajectory(m Matrix, start State, stream *rng.Stream, n int) []State {
+	out := make([]State, n)
+	st := start
+	for i := 0; i < n; i++ {
+		out[i] = st
+		st = m.Step(st, stream.Float64())
+	}
+	return out
+}

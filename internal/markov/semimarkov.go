@@ -1,0 +1,210 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"tightsched/internal/rng"
+)
+
+// This file implements the paper's stated future-work direction
+// (Section VII.B): real desktop-grid availability is not memoryless —
+// production traces suggest semi-Markov processes with approximately
+// Weibull or Log-Normal holding times. The SemiMarkov process below
+// generates such non-Markovian availability, and Fit estimates the best
+// ("flawed") Markov matrix from an observed trace, so experiments can
+// measure how the Markov-based heuristics behave when their model
+// assumption is violated (see examples/nonmarkov and EXPERIMENTS.md).
+
+// HoldingTime samples state-holding durations in whole slots (always >= 1).
+type HoldingTime interface {
+	Sample(stream *rng.Stream) int
+}
+
+// Geometric holding times make the semi-Markov process an ordinary Markov
+// chain (each extra slot is retained with probability Stay); it exists so
+// tests can confirm the semi-Markov machinery degenerates correctly.
+type Geometric struct {
+	Stay float64 // probability of holding for another slot
+}
+
+// Sample implements HoldingTime.
+func (g Geometric) Sample(stream *rng.Stream) int {
+	if g.Stay < 0 || g.Stay >= 1 {
+		panic(fmt.Sprintf("markov: geometric stay %v outside [0,1)", g.Stay))
+	}
+	n := 1
+	for stream.Float64() < g.Stay {
+		n++
+	}
+	return n
+}
+
+// Weibull holding times with the given shape and scale, discretized by
+// rounding up. Shape < 1 gives the heavy-tailed availability intervals
+// observed in desktop grids (long periods become longer).
+type Weibull struct {
+	Shape, Scale float64
+}
+
+// Sample implements HoldingTime via inversion: T = scale·(−ln U)^(1/shape).
+func (w Weibull) Sample(stream *rng.Stream) int {
+	if w.Shape <= 0 || w.Scale <= 0 {
+		panic(fmt.Sprintf("markov: weibull shape %v scale %v", w.Shape, w.Scale))
+	}
+	u := stream.Float64()
+	for u == 0 {
+		u = stream.Float64()
+	}
+	t := w.Scale * math.Pow(-math.Log(u), 1/w.Shape)
+	n := int(math.Ceil(t))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// LogNormal holding times: T = exp(Mu + Sigma·Z), discretized.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Sample implements HoldingTime via Box-Muller.
+func (l LogNormal) Sample(stream *rng.Stream) int {
+	if l.Sigma < 0 {
+		panic(fmt.Sprintf("markov: lognormal sigma %v", l.Sigma))
+	}
+	u1 := stream.Float64()
+	for u1 == 0 {
+		u1 = stream.Float64()
+	}
+	u2 := stream.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	n := int(math.Ceil(math.Exp(l.Mu + l.Sigma*z)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SemiMarkov is a 3-state semi-Markov availability process: the process
+// holds each state for a duration drawn from that state's HoldingTime,
+// then jumps according to the embedded jump chain.
+type SemiMarkov struct {
+	// Jump[i][j] is the probability of jumping to state j when leaving
+	// state i. Jump[i][i] must be 0 and rows must sum to 1.
+	Jump [NumStates][NumStates]float64
+	// Hold[i] samples how long the process stays in state i.
+	Hold [NumStates]HoldingTime
+}
+
+// Validate checks the jump chain and holding-time distributions.
+func (sm *SemiMarkov) Validate() error {
+	for i := 0; i < NumStates; i++ {
+		if sm.Hold[i] == nil {
+			return fmt.Errorf("markov: semi-markov state %d has no holding time", i)
+		}
+		if sm.Jump[i][i] != 0 {
+			return fmt.Errorf("markov: semi-markov self-jump in state %d", i)
+		}
+		sum := 0.0
+		for j := 0; j < NumStates; j++ {
+			p := sm.Jump[i][j]
+			if p < 0 || p > 1 {
+				return fmt.Errorf("markov: semi-markov jump [%d][%d] = %v", i, j, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("markov: semi-markov jump row %d sums to %v", i, sum)
+		}
+	}
+	return nil
+}
+
+// SemiMarkovSampler drives a SemiMarkov process slot by slot.
+type SemiMarkovSampler struct {
+	proc      *SemiMarkov
+	stream    *rng.Stream
+	state     State
+	remaining int // slots left in the current holding period
+}
+
+// NewSemiMarkovSampler starts a sampler in the given state with a fresh
+// holding period.
+func NewSemiMarkovSampler(proc *SemiMarkov, start State, stream *rng.Stream) *SemiMarkovSampler {
+	if err := proc.Validate(); err != nil {
+		panic(err)
+	}
+	return &SemiMarkovSampler{
+		proc:      proc,
+		stream:    stream,
+		state:     start,
+		remaining: proc.Hold[start].Sample(stream),
+	}
+}
+
+// State returns the current state.
+func (s *SemiMarkovSampler) State() State { return s.state }
+
+// Step advances one slot and returns the new state.
+func (s *SemiMarkovSampler) Step() State {
+	s.remaining--
+	if s.remaining <= 0 {
+		u := s.stream.Float64()
+		acc := 0.0
+		next := s.state
+		for j := 0; j < NumStates; j++ {
+			acc += s.proc.Jump[s.state][j]
+			if u < acc {
+				next = State(j)
+				break
+			}
+		}
+		s.state = next
+		s.remaining = s.proc.Hold[next].Sample(s.stream)
+	}
+	return s.state
+}
+
+// Fit estimates a (time-homogeneous Markov) transition matrix from an
+// observed state trace by transition counting with additive smoothing.
+// This is exactly the "flawed Markov model based on real-world processor
+// availability traces" the paper proposes to build: the fitted matrix
+// matches the trace's one-step statistics but not its holding-time
+// distributions.
+func Fit(trace []State, smoothing float64) (Matrix, error) {
+	if len(trace) < 2 {
+		return Matrix{}, fmt.Errorf("markov: trace too short to fit (%d states)", len(trace))
+	}
+	if smoothing < 0 {
+		return Matrix{}, fmt.Errorf("markov: negative smoothing %v", smoothing)
+	}
+	var counts [NumStates][NumStates]float64
+	for i := 0; i+1 < len(trace); i++ {
+		a, b := trace[i], trace[i+1]
+		if a >= NumStates || b >= NumStates {
+			return Matrix{}, fmt.Errorf("markov: invalid state %d in trace", a)
+		}
+		counts[a][b]++
+	}
+	var m Matrix
+	for i := 0; i < NumStates; i++ {
+		total := 0.0
+		for j := 0; j < NumStates; j++ {
+			total += counts[i][j] + smoothing
+		}
+		if total == 0 {
+			// State never observed: make it absorbing to stay stochastic.
+			m[i][i] = 1
+			continue
+		}
+		for j := 0; j < NumStates; j++ {
+			m[i][j] = (counts[i][j] + smoothing) / total
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return Matrix{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,257 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"tightsched/internal/rng"
+)
+
+// uniformJump is the embedded chain that leaves to either other state
+// with probability 1/2.
+func uniformJump() [NumStates][NumStates]float64 {
+	var j [NumStates][NumStates]float64
+	for i := 0; i < NumStates; i++ {
+		for k := 0; k < NumStates; k++ {
+			if i != k {
+				j[i][k] = 0.5
+			}
+		}
+	}
+	return j
+}
+
+func TestGeometricHolding(t *testing.T) {
+	stream := rng.New(1)
+	g := Geometric{Stay: 0.8}
+	sum := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := g.Sample(stream)
+		if v < 1 {
+			t.Fatalf("holding time %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	want := 1 / (1 - 0.8) // geometric mean = 1/(1-stay)
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("geometric mean %v, want %v", mean, want)
+	}
+}
+
+func TestWeibullHolding(t *testing.T) {
+	stream := rng.New(2)
+	w := Weibull{Shape: 1, Scale: 10} // shape 1 = exponential, mean 10
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := w.Sample(stream)
+		if v < 1 {
+			t.Fatalf("holding time %d < 1", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	// Discretization by ceiling adds ~0.5; accept [10, 11].
+	if mean < 10 || mean > 11.2 {
+		t.Fatalf("weibull(1,10) mean %v", mean)
+	}
+	// Heavy tail: shape 0.5 produces a larger coefficient of variation.
+	heavy := Weibull{Shape: 0.5, Scale: 10}
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		vals = append(vals, float64(heavy.Sample(stream)))
+	}
+	var m, s2 float64
+	for _, v := range vals {
+		m += v
+	}
+	m /= float64(len(vals))
+	for _, v := range vals {
+		s2 += (v - m) * (v - m)
+	}
+	s2 /= float64(len(vals))
+	if cv := math.Sqrt(s2) / m; cv < 1.2 {
+		t.Fatalf("weibull shape 0.5 not heavy-tailed: cv = %v", cv)
+	}
+}
+
+func TestLogNormalHolding(t *testing.T) {
+	stream := rng.New(3)
+	l := LogNormal{Mu: 2, Sigma: 0.5}
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := l.Sample(stream)
+		if v < 1 {
+			t.Fatalf("holding time %d < 1", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	want := math.Exp(2 + 0.25/2) // lognormal mean, before ceiling
+	if mean < want || mean > want+1.2 {
+		t.Fatalf("lognormal mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestHoldingPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"geometric stay=1": func() { Geometric{Stay: 1}.Sample(rng.New(1)) },
+		"weibull shape=0":  func() { Weibull{Shape: 0, Scale: 1}.Sample(rng.New(1)) },
+		"lognormal sigma<0": func() {
+			LogNormal{Mu: 0, Sigma: -1}.Sample(rng.New(1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSemiMarkovValidate(t *testing.T) {
+	good := &SemiMarkov{Jump: uniformJump()}
+	for i := range good.Hold {
+		good.Hold[i] = Geometric{Stay: 0.9}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	selfJump := &SemiMarkov{Jump: uniformJump()}
+	for i := range selfJump.Hold {
+		selfJump.Hold[i] = Geometric{Stay: 0.9}
+	}
+	selfJump.Jump[0][0] = 0.5
+	selfJump.Jump[0][1] = 0.25
+	selfJump.Jump[0][2] = 0.25
+	if selfJump.Validate() == nil {
+		t.Fatal("self-jump accepted")
+	}
+	noHold := &SemiMarkov{Jump: uniformJump()}
+	if noHold.Validate() == nil {
+		t.Fatal("missing holding time accepted")
+	}
+}
+
+// TestSemiMarkovGeometricIsMarkov: with geometric holding times the
+// semi-Markov process is an ordinary Markov chain; its fitted matrix must
+// match the analytic one.
+func TestSemiMarkovGeometricIsMarkov(t *testing.T) {
+	const stay = 0.9
+	sm := &SemiMarkov{Jump: uniformJump()}
+	for i := range sm.Hold {
+		sm.Hold[i] = Geometric{Stay: stay}
+	}
+	sampler := NewSemiMarkovSampler(sm, Up, rng.New(4))
+	trace := make([]State, 400000)
+	for i := range trace {
+		trace[i] = sampler.Step()
+	}
+	fitted, err := Fit(trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Uniform(stay)
+	for i := 0; i < NumStates; i++ {
+		for j := 0; j < NumStates; j++ {
+			if math.Abs(fitted[i][j]-want[i][j]) > 0.01 {
+				t.Fatalf("fitted[%d][%d] = %v, want %v", i, j, fitted[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestSemiMarkovHeavyTailIsNotMarkov: with heavy-tailed Weibull holding
+// times, the conditional probability of staying UP grows with the time
+// already spent UP — precisely the memory a Markov model cannot express.
+func TestSemiMarkovHeavyTailIsNotMarkov(t *testing.T) {
+	sm := &SemiMarkov{Jump: uniformJump()}
+	for i := range sm.Hold {
+		sm.Hold[i] = Weibull{Shape: 0.5, Scale: 20}
+	}
+	sampler := NewSemiMarkovSampler(sm, Up, rng.New(5))
+	trace := make([]State, 500000)
+	for i := range trace {
+		trace[i] = sampler.Step()
+	}
+	// Estimate P(stay UP | UP for >= k slots) for short and long ages.
+	stayAfter := func(minAge int) float64 {
+		stays, total := 0, 0
+		age := 0
+		for i := 1; i < len(trace); i++ {
+			if trace[i-1] == Up {
+				age++
+			} else {
+				age = 0
+				continue
+			}
+			if age >= minAge {
+				total++
+				if trace[i] == Up {
+					stays++
+				}
+			}
+		}
+		return float64(stays) / float64(total)
+	}
+	young := stayAfter(1)
+	old := stayAfter(30)
+	if old <= young+0.01 {
+		t.Fatalf("heavy-tailed process should show aging: P(stay|young)=%v P(stay|old)=%v", young, old)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]State{Up}, 0); err == nil {
+		t.Fatal("short trace accepted")
+	}
+	if _, err := Fit([]State{Up, Down}, -1); err == nil {
+		t.Fatal("negative smoothing accepted")
+	}
+	if _, err := Fit([]State{Up, State(7)}, 0); err == nil {
+		t.Fatal("invalid state accepted")
+	}
+	// A trace that never visits RECLAIMED/DOWN still yields a valid
+	// stochastic matrix.
+	m, err := Fit([]State{Up, Up, Up, Up}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m[Reclaimed][Reclaimed] != 1 || m[Down][Down] != 1 {
+		t.Fatalf("unobserved states should be absorbing: %v", m)
+	}
+}
+
+func TestFitSmoothing(t *testing.T) {
+	trace := []State{Up, Up, Up, Down, Up, Up}
+	m, err := Fit(trace, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With smoothing every transition has positive probability.
+	for i := 0; i < NumStates; i++ {
+		for j := 0; j < NumStates; j++ {
+			if m[i][j] <= 0 {
+				t.Fatalf("smoothed fit has zero entry [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestSemiMarkovSamplerRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid semi-markov accepted")
+		}
+	}()
+	NewSemiMarkovSampler(&SemiMarkov{}, Up, rng.New(1))
+}

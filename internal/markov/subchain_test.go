@@ -1,0 +1,208 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tightsched/internal/rng"
+)
+
+func TestSubChainClosedFormMatchesPower(t *testing.T) {
+	s := rng.New(11)
+	for trial := 0; trial < 100; trial++ {
+		m := paperMatrix(s)
+		sc := NewSubChain(m)
+		for tt := 0; tt <= 200; tt += 7 {
+			puuRef, surRef := sc.PowerRef(tt)
+			if got := sc.PuuT(tt); math.Abs(got-puuRef) > 1e-9 {
+				t.Fatalf("trial %d: PuuT(%d) = %v, ref %v (chain %v)", trial, tt, got, puuRef, sc)
+			}
+			if got := sc.SurviveT(tt); math.Abs(got-surRef) > 1e-9 {
+				t.Fatalf("trial %d: SurviveT(%d) = %v, ref %v", trial, tt, got, surRef)
+			}
+		}
+	}
+}
+
+func TestSubChainT0(t *testing.T) {
+	sc := NewSubChain(Uniform(0.9))
+	if sc.PuuT(0) != 1 || sc.SurviveT(0) != 1 || sc.SurviveReal(0) != 1 {
+		t.Fatal("t=0 probabilities must be 1")
+	}
+}
+
+func TestSubChainMonotoneSurvival(t *testing.T) {
+	sc := NewSubChain(PerState(0.93, 0.9, 0.95))
+	prev := 1.0
+	for tt := 1; tt <= 300; tt++ {
+		cur := sc.SurviveT(tt)
+		if cur > prev+1e-12 {
+			t.Fatalf("survival increased at t=%d: %v -> %v", tt, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestSubChainProbabilityBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint32, texp uint16) bool {
+		s := rng.New(uint64(seed))
+		sc := NewSubChain(paperMatrix(s))
+		tt := int(texp % 2000)
+		p := sc.PuuT(tt)
+		q := sc.SurviveT(tt)
+		return p >= 0 && p <= 1 && q >= 0 && q <= 1 && p <= q+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubChainNoFailSurvivalIsOne(t *testing.T) {
+	// A chain that cannot reach DOWN from live states keeps survival at 1.
+	m := Matrix{
+		{0.8, 0.2, 0},
+		{0.3, 0.7, 0},
+		{0, 0, 1},
+	}
+	sc := NewSubChain(m)
+	for tt := 0; tt <= 100; tt += 10 {
+		if got := sc.SurviveT(tt); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("SurviveT(%d) = %v, want 1", tt, got)
+		}
+	}
+	if sc.Lambda1() < 1-1e-9 {
+		t.Fatalf("dominant eigenvalue %v, want 1", sc.Lambda1())
+	}
+}
+
+func TestSubChainDiagonal(t *testing.T) {
+	// Diagonal restricted chain: PuuT(t) = a^t exactly (repeated eigenvalue
+	// when a == d; distinct when a != d).
+	m := Matrix{
+		{0.9, 0, 0.1},
+		{0, 0.9, 0.1},
+		{0.1, 0.1, 0.8},
+	}
+	sc := NewSubChain(m)
+	for tt := 0; tt <= 50; tt += 5 {
+		want := math.Pow(0.9, float64(tt))
+		if got := sc.PuuT(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("diagonal PuuT(%d) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestSubChainDefective(t *testing.T) {
+	// M = [[a, b], [0, a]] with b > 0 is defective: repeated eigenvalue a,
+	// one eigenvector. (M^t)[0][0] = a^t still; survival picks up the
+	// t·a^(t-1)·b term.
+	m := Matrix{
+		{0.8, 0.1, 0.1},
+		{0, 0.8, 0.2},
+		{0.2, 0.2, 0.6},
+	}
+	sc := NewSubChain(m)
+	for tt := 0; tt <= 60; tt++ {
+		puuRef, surRef := sc.PowerRef(tt)
+		if got := sc.PuuT(tt); math.Abs(got-puuRef) > 1e-9 {
+			t.Fatalf("defective PuuT(%d) = %v, want %v", tt, got, puuRef)
+		}
+		if got := sc.SurviveT(tt); math.Abs(got-surRef) > 1e-9 {
+			t.Fatalf("defective SurviveT(%d) = %v, want %v", tt, got, surRef)
+		}
+	}
+}
+
+func TestSurviveRealInterpolates(t *testing.T) {
+	sc := NewSubChain(Uniform(0.94))
+	for tt := 1; tt < 50; tt++ {
+		lo := sc.SurviveT(tt + 1)
+		hi := sc.SurviveT(tt)
+		mid := sc.SurviveReal(float64(tt) + 0.5)
+		if mid < lo-1e-9 || mid > hi+1e-9 {
+			t.Fatalf("SurviveReal(%v.5) = %v outside [%v, %v]", tt, mid, lo, hi)
+		}
+	}
+}
+
+func TestSubChainMonteCarlo(t *testing.T) {
+	// Cross-validate the closed form against direct chain simulation:
+	// estimate P(UP at t, never DOWN in 1..t | UP at 0) empirically.
+	m := PerState(0.9, 0.85, 0.9)
+	sc := NewSubChain(m)
+	stream := rng.New(123)
+	const trials = 200000
+	horizon := 12
+	upCount := make([]int, horizon+1)
+	surCount := make([]int, horizon+1)
+	for tr := 0; tr < trials; tr++ {
+		st := Up
+		alive := true
+		for tt := 1; tt <= horizon; tt++ {
+			st = m.Step(st, stream.Float64())
+			if st == Down {
+				alive = false
+			}
+			if alive {
+				surCount[tt]++
+				if st == Up {
+					upCount[tt]++
+				}
+			}
+		}
+	}
+	for tt := 1; tt <= horizon; tt++ {
+		gotUp := float64(upCount[tt]) / trials
+		gotSur := float64(surCount[tt]) / trials
+		if math.Abs(gotUp-sc.PuuT(tt)) > 0.005 {
+			t.Fatalf("MC PuuT(%d) = %v, closed form %v", tt, gotUp, sc.PuuT(tt))
+		}
+		if math.Abs(gotSur-sc.SurviveT(tt)) > 0.005 {
+			t.Fatalf("MC SurviveT(%d) = %v, closed form %v", tt, gotSur, sc.SurviveT(tt))
+		}
+	}
+}
+
+func TestSubChainNegativePanics(t *testing.T) {
+	sc := NewSubChain(Uniform(0.9))
+	for _, f := range []func(){
+		func() { sc.PuuT(-1) },
+		func() { sc.SurviveT(-1) },
+		func() { sc.SurviveReal(-0.5) },
+		func() { sc.PowerRef(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("negative time did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSubChainString(t *testing.T) {
+	if NewSubChain(Uniform(0.9)).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func BenchmarkPuuTClosedForm(b *testing.B) {
+	sc := NewSubChain(Uniform(0.95))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += sc.PuuT(i % 256)
+	}
+	_ = sink
+}
+
+func BenchmarkPuuTPowerRef(b *testing.B) {
+	sc := NewSubChain(Uniform(0.95))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		p, _ := sc.PowerRef(i % 256)
+		sink += p
+	}
+	_ = sink
+}

@@ -1,0 +1,67 @@
+package offline
+
+import "math/bits"
+
+// bitset is a fixed-capacity bit vector used to represent sets of
+// time-slots. Instances in this package are small (the off-line problem is
+// NP-hard; exact solving is only feasible for tens of slots), but the
+// representation supports arbitrary lengths.
+type bitset []uint64
+
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+func (b bitset) set(i int) {
+	b[i/64] |= 1 << (uint(i) % 64)
+}
+
+func (b bitset) get(i int) bool {
+	return b[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// and intersects other into a fresh bitset.
+func (b bitset) and(other bitset) bitset {
+	out := make(bitset, len(b))
+	for i := range b {
+		out[i] = b[i] & other[i]
+	}
+	return out
+}
+
+// andInPlace intersects other into b.
+func (b bitset) andInPlace(other bitset) {
+	for i := range b {
+		b[i] &= other[i]
+	}
+}
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// indices returns the positions of set bits, up to max (all when max < 0).
+func (b bitset) indices(max int) []int {
+	var out []int
+	for wi, w := range b {
+		for w != 0 {
+			i := wi*64 + bits.TrailingZeros64(w)
+			out = append(out, i)
+			if max >= 0 && len(out) == max {
+				return out
+			}
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package offline
+
+import (
+	"fmt"
+	"sort"
+
+	"tightsched/internal/rng"
+)
+
+// Bipartite is a bipartite graph G = (V ∪ W, E) for the ENCD problem of
+// Dawande et al., used in the paper's Theorem 4.1 reductions.
+type Bipartite struct {
+	// NV and NW are the sizes of the two vertex classes.
+	NV, NW int
+	// Edge[v][w] reports an edge between v ∈ V and w ∈ W.
+	Edge [][]bool
+}
+
+// Validate checks the graph shape.
+func (g *Bipartite) Validate() error {
+	if g.NV <= 0 || g.NW <= 0 {
+		return fmt.Errorf("offline: bipartite sides %d, %d", g.NV, g.NW)
+	}
+	if len(g.Edge) != g.NV {
+		return fmt.Errorf("offline: %d edge rows, want %d", len(g.Edge), g.NV)
+	}
+	for v, row := range g.Edge {
+		if len(row) != g.NW {
+			return fmt.Errorf("offline: edge row %d has %d entries, want %d", v, len(row), g.NW)
+		}
+	}
+	return nil
+}
+
+// RandomBipartite draws a bipartite graph with the given edge probability.
+func RandomBipartite(nv, nw int, p float64, stream *rng.Stream) *Bipartite {
+	g := &Bipartite{NV: nv, NW: nw, Edge: make([][]bool, nv)}
+	for v := range g.Edge {
+		g.Edge[v] = make([]bool, nw)
+		for w := range g.Edge[v] {
+			g.Edge[v][w] = stream.Bernoulli(p)
+		}
+	}
+	return g
+}
+
+// SolveENCD answers the Exact Node Cardinality Decision problem: does G
+// contain a bi-clique with exactly a nodes in V and b nodes in W? It
+// enumerates a-subsets of V with neighborhood-intersection pruning and is
+// exact (ENCD is NP-complete, so worst-case exponential). A witness
+// (U1 ⊂ V, U2 ⊂ W) is returned when one exists.
+func SolveENCD(g *Bipartite, a, b int) ([]int, []int, bool, error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, false, err
+	}
+	if a < 1 || a > g.NV || b < 1 || b > g.NW {
+		return nil, nil, false, fmt.Errorf("offline: ENCD with a=%d, b=%d outside graph %dx%d", a, b, g.NV, g.NW)
+	}
+	// Neighborhood bitsets over W.
+	nbr := make([]bitset, g.NV)
+	for v := 0; v < g.NV; v++ {
+		nbr[v] = newBitset(g.NW)
+		for w := 0; w < g.NW; w++ {
+			if g.Edge[v][w] {
+				nbr[v].set(w)
+			}
+		}
+	}
+	order := make([]int, g.NV)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return nbr[order[i]].count() > nbr[order[j]].count()
+	})
+
+	chosen := make([]int, 0, a)
+	var rec func(idx int, common bitset) ([]int, []int, bool)
+	rec = func(idx int, common bitset) ([]int, []int, bool) {
+		if len(chosen) == a {
+			u1 := append([]int(nil), chosen...)
+			sort.Ints(u1)
+			return u1, common.indices(b), true
+		}
+		for i := idx; i <= g.NV-(a-len(chosen)); i++ {
+			v := order[i]
+			next := common.and(nbr[v])
+			if next.count() < b {
+				continue
+			}
+			chosen = append(chosen, v)
+			if u1, u2, ok := rec(i+1, next); ok {
+				return u1, u2, ok
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return nil, nil, false
+	}
+	u1, u2, ok := rec(0, allSlots(g.NW))
+	return u1, u2, ok, nil
+}
+
+// VerifyBiclique checks that (u1, u2) is a bi-clique of g with exactly the
+// requested cardinalities.
+func VerifyBiclique(g *Bipartite, u1, u2 []int, a, b int) error {
+	if len(u1) != a || len(u2) != b {
+		return fmt.Errorf("offline: biclique sizes (%d, %d), want (%d, %d)", len(u1), len(u2), a, b)
+	}
+	for _, v := range u1 {
+		if v < 0 || v >= g.NV {
+			return fmt.Errorf("offline: vertex %d outside V", v)
+		}
+		for _, w := range u2 {
+			if w < 0 || w >= g.NW {
+				return fmt.Errorf("offline: vertex %d outside W", w)
+			}
+			if !g.Edge[v][w] {
+				return fmt.Errorf("offline: missing edge (%d, %d)", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// ReduceENCDToUnit builds the Theorem 4.1(i) instance: p = |V| processors,
+// N = |W| slots, processor v UP at slot w iff (v, w) ∈ E, with m = a and
+// w = b. The ENCD instance is satisfiable iff the returned off-line
+// instance is (for SolveUnit).
+func ReduceENCDToUnit(g *Bipartite, a, b int) (*Instance, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	up := make([][]bool, g.NV)
+	for v := range up {
+		up[v] = append([]bool(nil), g.Edge[v]...)
+	}
+	return &Instance{Up: up, M: a, W: b}, nil
+}
+
+// ReduceENCDToFlexible builds the Theorem 4.1(ii) instance: the same
+// availability matrix extended with |W|+1 all-UP slots, with m = a and
+// w = b + |W| + 1. Intuitively the padding makes splitting tasks onto
+// fewer than a processors impossible: with fewer processors some worker
+// runs two tasks, needing 2w > N slots.
+func ReduceENCDToFlexible(g *Bipartite, a, b int) (*Instance, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := 2*g.NW + 1
+	up := make([][]bool, g.NV)
+	for v := range up {
+		row := make([]bool, n)
+		copy(row, g.Edge[v])
+		for t := g.NW; t < n; t++ {
+			row[t] = true
+		}
+		up[v] = row
+	}
+	return &Instance{Up: up, M: a, W: b + g.NW + 1}, nil
+}

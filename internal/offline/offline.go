@@ -1,0 +1,261 @@
+// Package offline implements Section IV of the paper: the off-line
+// scheduling problem with full knowledge of future processor states, its
+// two variants OFFLINE-COUPLED(µ=1) and OFFLINE-COUPLED(µ=∞), exact
+// solvers for them, a greedy baseline, and the NP-hardness reductions of
+// Theorem 4.1 from ENCD (the Exact Node Cardinality Decision bi-clique
+// problem), in both directions, so the reductions can be verified
+// experimentally on random instances.
+//
+// The off-line problem with no communication and identical workers
+// reduces to a combinatorial core: given the p×N availability matrix, do
+// there exist m processors that are simultaneously UP during at least w
+// (not necessarily consecutive) time-slots? With per-worker capacity µ=∞,
+// the workload can instead be folded onto k < m workers, each taking
+// ⌈m/k⌉ tasks and therefore needing ⌈m/k⌉·w slots.
+package offline
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Instance is an off-line scheduling instance: full knowledge of which
+// processors are UP at which time-slots (only UP matters for the
+// communication-free, homogeneous variants of Section IV).
+type Instance struct {
+	// Up[q][t] reports that processor q is UP at slot t. All rows must
+	// have equal length N.
+	Up [][]bool
+	// M is the number of tasks per iteration.
+	M int
+	// W is the per-task execution time w in slots.
+	W int
+}
+
+// Validate checks the instance shape.
+func (in *Instance) Validate() error {
+	if len(in.Up) == 0 {
+		return fmt.Errorf("offline: no processors")
+	}
+	n := len(in.Up[0])
+	for q, row := range in.Up {
+		if len(row) != n {
+			return fmt.Errorf("offline: row %d has %d slots, want %d", q, len(row), n)
+		}
+	}
+	if in.M <= 0 || in.M > len(in.Up) {
+		return fmt.Errorf("offline: m=%d with p=%d processors", in.M, len(in.Up))
+	}
+	if in.W <= 0 {
+		return fmt.Errorf("offline: w=%d, want positive", in.W)
+	}
+	return nil
+}
+
+// Slots returns N, the horizon length.
+func (in *Instance) Slots() int {
+	if len(in.Up) == 0 {
+		return 0
+	}
+	return len(in.Up[0])
+}
+
+// rowBitsets converts availability rows to bitsets over slots.
+func (in *Instance) rowBitsets() []bitset {
+	n := in.Slots()
+	rows := make([]bitset, len(in.Up))
+	for q, row := range in.Up {
+		b := newBitset(n)
+		for t, up := range row {
+			if up {
+				b.set(t)
+			}
+		}
+		rows[q] = b
+	}
+	return rows
+}
+
+// Solution is a witness for a satisfiable instance.
+type Solution struct {
+	// Procs are the enrolled processors (len = m for µ=1; k <= m for µ=∞).
+	Procs []int
+	// SlotsUsed are the time-slots during which all enrolled processors
+	// are UP (len = the required duration).
+	SlotsUsed []int
+	// TasksPerProc is the common task count per enrolled processor
+	// (1 for µ=1; ⌈m/k⌉ for µ=∞).
+	TasksPerProc int
+}
+
+// SolveUnit answers OFFLINE-COUPLED(µ=1) exactly: do m processors exist
+// that are simultaneously UP during at least w slots? It returns a witness
+// when satisfiable. The search is a branch-and-bound over processor
+// subsets, pruning on the intersection cardinality; worst-case exponential
+// (the problem is NP-hard) but effective for the small instances exact
+// solving is meant for.
+func SolveUnit(in *Instance) (Solution, bool, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, false, err
+	}
+	return solveSubset(in.rowBitsets(), in.Slots(), in.M, in.W)
+}
+
+// solveSubset finds m rows whose bitwise intersection has at least w set
+// bits. Rows are tried in decreasing cardinality order. n is the number of
+// valid slot positions.
+func solveSubset(rows []bitset, n, m, w int) (Solution, bool, error) {
+	p := len(rows)
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return rows[order[a]].count() > rows[order[b]].count()
+	})
+
+	chosen := make([]int, 0, m)
+	var rec func(idx int, inter bitset) (Solution, bool)
+	rec = func(idx int, inter bitset) (Solution, bool) {
+		if len(chosen) == m {
+			slots := inter.indices(w)
+			procs := append([]int(nil), chosen...)
+			sort.Ints(procs)
+			return Solution{Procs: procs, SlotsUsed: slots, TasksPerProc: 1}, true
+		}
+		for i := idx; i <= p-(m-len(chosen)); i++ {
+			q := order[i]
+			next := inter.and(rows[q])
+			if next.count() < w {
+				continue
+			}
+			chosen = append(chosen, q)
+			if sol, ok := rec(i+1, next); ok {
+				return sol, true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return Solution{}, false
+	}
+
+	if p == 0 || m > p {
+		return Solution{}, false, nil
+	}
+	sol, ok := rec(0, allSlots(n))
+	return sol, ok, nil
+}
+
+// allSlots returns the bitset with exactly the first n bits set.
+func allSlots(n int) bitset {
+	b := newBitset(n)
+	for i := 0; i < n; i++ {
+		b.set(i)
+	}
+	return b
+}
+
+// SolveFlexible answers OFFLINE-COUPLED(µ=∞) exactly: does some k ≤ m
+// admit k processors simultaneously UP during ⌈m/k⌉·w slots? Smaller k
+// trades fewer simultaneous processors for a longer coupled computation.
+func SolveFlexible(in *Instance) (Solution, bool, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, false, err
+	}
+	rows := in.rowBitsets()
+	p := len(rows)
+	for k := 1; k <= in.M && k <= p; k++ {
+		perProc := (in.M + k - 1) / k // ⌈m/k⌉
+		need := perProc * in.W
+		if need > in.Slots() {
+			continue
+		}
+		if sol, ok, err := solveSubset(rows, in.Slots(), k, need); err != nil {
+			return Solution{}, false, err
+		} else if ok {
+			sol.TasksPerProc = perProc
+			return sol, true, nil
+		}
+	}
+	return Solution{}, false, nil
+}
+
+// GreedyUnit is a polynomial-time heuristic for OFFLINE-COUPLED(µ=1): it
+// repeatedly enrolls the processor whose availability intersects best with
+// the current common slots. It can miss solutions (the problem is NP-hard)
+// but never reports a false positive.
+func GreedyUnit(in *Instance) (Solution, bool, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, false, err
+	}
+	rows := in.rowBitsets()
+	p := len(rows)
+	used := make([]bool, p)
+	inter := allSlots(in.Slots())
+	var procs []int
+	for len(procs) < in.M {
+		best, bestCount := -1, -1
+		for q := 0; q < p; q++ {
+			if used[q] {
+				continue
+			}
+			if c := inter.and(rows[q]).count(); c > bestCount {
+				best, bestCount = q, c
+			}
+		}
+		if best < 0 || bestCount < in.W {
+			return Solution{}, false, nil
+		}
+		used[best] = true
+		procs = append(procs, best)
+		inter.andInPlace(rows[best])
+	}
+	sort.Ints(procs)
+	return Solution{Procs: procs, SlotsUsed: inter.indices(in.W), TasksPerProc: 1}, true, nil
+}
+
+// VerifyUnit checks a Solution against an instance for the µ=1 problem.
+func VerifyUnit(in *Instance, sol Solution) error {
+	if len(sol.Procs) != in.M {
+		return fmt.Errorf("offline: %d processors, want %d", len(sol.Procs), in.M)
+	}
+	return verifyCommonSlots(in, sol, in.W)
+}
+
+// VerifyFlexible checks a Solution against an instance for the µ=∞
+// problem: k processors, each with ⌈m/k⌉ tasks, sharing ⌈m/k⌉·w slots.
+func VerifyFlexible(in *Instance, sol Solution) error {
+	k := len(sol.Procs)
+	if k == 0 || k > in.M {
+		return fmt.Errorf("offline: %d processors for %d tasks", k, in.M)
+	}
+	perProc := (in.M + k - 1) / k
+	if sol.TasksPerProc != perProc {
+		return fmt.Errorf("offline: %d tasks per processor, want %d", sol.TasksPerProc, perProc)
+	}
+	return verifyCommonSlots(in, sol, perProc*in.W)
+}
+
+func verifyCommonSlots(in *Instance, sol Solution, need int) error {
+	if len(sol.SlotsUsed) < need {
+		return fmt.Errorf("offline: %d slots, need %d", len(sol.SlotsUsed), need)
+	}
+	seen := map[int]bool{}
+	for _, t := range sol.SlotsUsed {
+		if t < 0 || t >= in.Slots() {
+			return fmt.Errorf("offline: slot %d out of range", t)
+		}
+		if seen[t] {
+			return fmt.Errorf("offline: slot %d repeated", t)
+		}
+		seen[t] = true
+		for _, q := range sol.Procs {
+			if q < 0 || q >= len(in.Up) {
+				return fmt.Errorf("offline: processor %d out of range", q)
+			}
+			if !in.Up[q][t] {
+				return fmt.Errorf("offline: processor %d not UP at slot %d", q, t)
+			}
+		}
+	}
+	return nil
+}

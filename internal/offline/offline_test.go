@@ -1,0 +1,256 @@
+package offline
+
+import (
+	"testing"
+
+	"tightsched/internal/rng"
+)
+
+// naiveUnit answers OFFLINE-COUPLED(µ=1) by full enumeration of processor
+// subsets, as a reference for the branch-and-bound solver.
+func naiveUnit(in *Instance) bool {
+	p := len(in.Up)
+	n := in.Slots()
+	var procs []int
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(procs) == in.M {
+			common := 0
+			for t := 0; t < n; t++ {
+				all := true
+				for _, q := range procs {
+					if !in.Up[q][t] {
+						all = false
+						break
+					}
+				}
+				if all {
+					common++
+				}
+			}
+			return common >= in.W
+		}
+		for q := start; q < p; q++ {
+			procs = append(procs, q)
+			if rec(q + 1) {
+				return true
+			}
+			procs = procs[:len(procs)-1]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// randomInstance draws a p×n availability matrix with UP probability pUp.
+func randomInstance(stream *rng.Stream, p, n, m, w int, pUp float64) *Instance {
+	up := make([][]bool, p)
+	for q := range up {
+		up[q] = make([]bool, n)
+		for t := range up[q] {
+			up[q][t] = stream.Bernoulli(pUp)
+		}
+	}
+	return &Instance{Up: up, M: m, W: w}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	good := &Instance{Up: [][]bool{{true}, {false}}, M: 1, W: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Instance{
+		{M: 1, W: 1}, // empty
+		{Up: [][]bool{{true}, {true, false}}, M: 1, W: 1}, // ragged
+		{Up: [][]bool{{true}}, M: 0, W: 1},                // m too small
+		{Up: [][]bool{{true}}, M: 2, W: 1},                // m > p
+		{Up: [][]bool{{true}}, M: 1, W: 0},                // w too small
+	}
+	for i, in := range bad {
+		if in.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSolveUnitKnownInstances(t *testing.T) {
+	// 3 processors, 4 slots. P0 and P2 share slots 0 and 2.
+	in := &Instance{
+		Up: [][]bool{
+			{true, false, true, false},
+			{false, true, false, true},
+			{true, true, true, false},
+		},
+		M: 2, W: 2,
+	}
+	sol, ok, err := SolveUnit(in)
+	if err != nil || !ok {
+		t.Fatalf("satisfiable instance rejected: %v", err)
+	}
+	if err := VerifyUnit(in, sol); err != nil {
+		t.Fatal(err)
+	}
+	// Needing 3 common slots among 2 processors is impossible here.
+	in.W = 3
+	if _, ok, _ := SolveUnit(in); ok {
+		t.Fatal("unsatisfiable instance accepted")
+	}
+}
+
+func TestSolveUnitMatchesNaive(t *testing.T) {
+	stream := rng.New(7)
+	for trial := 0; trial < 300; trial++ {
+		p := stream.IntRange(2, 7)
+		n := stream.IntRange(2, 12)
+		m := stream.IntRange(1, p)
+		w := stream.IntRange(1, n)
+		in := randomInstance(stream, p, n, m, w, stream.Uniform(0.2, 0.9))
+		sol, ok, err := SolveUnit(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveUnit(in); ok != want {
+			t.Fatalf("trial %d: solver=%v naive=%v (p=%d n=%d m=%d w=%d)", trial, ok, want, p, n, m, w)
+		}
+		if ok {
+			if err := VerifyUnit(in, sol); err != nil {
+				t.Fatalf("trial %d: invalid witness: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestSolveFlexibleFoldsTasks(t *testing.T) {
+	// Only one processor is ever UP, but for 6 slots: with µ=∞ it can run
+	// both tasks itself (2 tasks × w=3 = 6 slots); µ=1 needs 2 processors.
+	in := &Instance{
+		Up: [][]bool{
+			{true, true, true, true, true, true},
+			{false, false, false, false, false, false},
+		},
+		M: 2, W: 3,
+	}
+	if _, ok, _ := SolveUnit(in); ok {
+		t.Fatal("µ=1 should fail with a single live processor")
+	}
+	sol, ok, err := SolveFlexible(in)
+	if err != nil || !ok {
+		t.Fatalf("µ=∞ should fold tasks: %v", err)
+	}
+	if len(sol.Procs) != 1 || sol.TasksPerProc != 2 {
+		t.Fatalf("unexpected solution %+v", sol)
+	}
+	if err := VerifyFlexible(in, sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveFlexibleSubsumesUnit(t *testing.T) {
+	// Whenever µ=1 succeeds, µ=∞ must too.
+	stream := rng.New(8)
+	for trial := 0; trial < 200; trial++ {
+		p := stream.IntRange(2, 6)
+		n := stream.IntRange(2, 10)
+		m := stream.IntRange(1, p)
+		w := stream.IntRange(1, 3)
+		in := randomInstance(stream, p, n, m, w, stream.Uniform(0.3, 0.9))
+		_, unitOK, _ := SolveUnit(in)
+		sol, flexOK, _ := SolveFlexible(in)
+		if unitOK && !flexOK {
+			t.Fatalf("trial %d: µ=∞ weaker than µ=1", trial)
+		}
+		if flexOK {
+			if err := VerifyFlexible(in, sol); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestGreedySoundness(t *testing.T) {
+	stream := rng.New(9)
+	greedyHits, exactHits := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		p := stream.IntRange(2, 7)
+		n := stream.IntRange(2, 12)
+		m := stream.IntRange(1, p)
+		w := stream.IntRange(1, n/2+1)
+		in := randomInstance(stream, p, n, m, w, stream.Uniform(0.3, 0.9))
+		gsol, gok, err := GreedyUnit(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, eok, _ := SolveUnit(in)
+		if gok {
+			greedyHits++
+			// Greedy may be incomplete but must never be unsound.
+			if err := VerifyUnit(in, gsol); err != nil {
+				t.Fatalf("trial %d: greedy produced invalid witness: %v", trial, err)
+			}
+			if !eok {
+				t.Fatalf("trial %d: greedy found a solution the exact solver missed", trial)
+			}
+		}
+		if eok {
+			exactHits++
+		}
+	}
+	if greedyHits == 0 || exactHits < greedyHits {
+		t.Fatalf("degenerate test: greedy=%d exact=%d", greedyHits, exactHits)
+	}
+}
+
+func TestVerifyUnitRejectsBadWitness(t *testing.T) {
+	in := &Instance{
+		Up: [][]bool{{true, true}, {true, false}},
+		M:  2, W: 1,
+	}
+	bad := []Solution{
+		{Procs: []int{0}, SlotsUsed: []int{0}},    // wrong proc count
+		{Procs: []int{0, 1}, SlotsUsed: []int{}},  // too few slots
+		{Procs: []int{0, 1}, SlotsUsed: []int{1}}, // P1 not UP at 1
+		{Procs: []int{0, 1}, SlotsUsed: []int{5}}, // out of range
+		{Procs: []int{0, 9}, SlotsUsed: []int{0}}, // bad proc index
+	}
+	for i, sol := range bad {
+		if VerifyUnit(in, sol) == nil {
+			t.Fatalf("bad witness %d accepted", i)
+		}
+	}
+	dup := &Instance{Up: [][]bool{{true, true}}, M: 1, W: 2}
+	if VerifyUnit(dup, Solution{Procs: []int{0}, SlotsUsed: []int{1, 1}}) == nil {
+		t.Fatal("duplicate slots accepted")
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.set(i)
+		if !b.get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.count() != 4 {
+		t.Fatalf("count = %d", b.count())
+	}
+	idx := b.indices(-1)
+	if len(idx) != 4 || idx[0] != 0 || idx[3] != 129 {
+		t.Fatalf("indices = %v", idx)
+	}
+	if got := b.indices(2); len(got) != 2 {
+		t.Fatalf("capped indices = %v", got)
+	}
+	other := newBitset(130)
+	other.set(63)
+	other.set(100)
+	inter := b.and(other)
+	if inter.count() != 1 || !inter.get(63) {
+		t.Fatalf("and: %v", inter.indices(-1))
+	}
+	c := b.clone()
+	c.andInPlace(other)
+	if c.count() != 1 || b.count() != 4 {
+		t.Fatal("andInPlace/clone aliasing")
+	}
+}

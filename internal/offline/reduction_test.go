@@ -1,0 +1,204 @@
+package offline
+
+import (
+	"testing"
+
+	"tightsched/internal/rng"
+)
+
+// naiveENCD answers ENCD by full enumeration over subsets of V.
+func naiveENCD(g *Bipartite, a, b int) bool {
+	var chosen []int
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(chosen) == a {
+			common := 0
+			for w := 0; w < g.NW; w++ {
+				all := true
+				for _, v := range chosen {
+					if !g.Edge[v][w] {
+						all = false
+						break
+					}
+				}
+				if all {
+					common++
+				}
+			}
+			return common >= b
+		}
+		for v := start; v < g.NV; v++ {
+			chosen = append(chosen, v)
+			if rec(v + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func TestSolveENCDMatchesNaive(t *testing.T) {
+	stream := rng.New(31)
+	for trial := 0; trial < 300; trial++ {
+		nv := stream.IntRange(2, 6)
+		nw := stream.IntRange(2, 8)
+		a := stream.IntRange(1, nv)
+		b := stream.IntRange(1, nw)
+		g := RandomBipartite(nv, nw, stream.Uniform(0.2, 0.9), stream)
+		u1, u2, ok, err := SolveENCD(g, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveENCD(g, a, b); ok != want {
+			t.Fatalf("trial %d: solver=%v naive=%v", trial, ok, want)
+		}
+		if ok {
+			if err := VerifyBiclique(g, u1, u2, a, b); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestSolveENCDValidation(t *testing.T) {
+	g := RandomBipartite(3, 3, 0.5, rng.New(1))
+	if _, _, _, err := SolveENCD(g, 0, 1); err == nil {
+		t.Fatal("a=0 accepted")
+	}
+	if _, _, _, err := SolveENCD(g, 1, 4); err == nil {
+		t.Fatal("b>|W| accepted")
+	}
+	if (&Bipartite{NV: 1, NW: 1}).Validate() == nil {
+		t.Fatal("missing edge rows accepted")
+	}
+}
+
+// TestReductionUnit is the experimental verification of Theorem 4.1(i):
+// over random ENCD instances, the reduction to OFFLINE-COUPLED(µ=1)
+// preserves satisfiability exactly.
+func TestReductionUnit(t *testing.T) {
+	stream := rng.New(32)
+	sat, unsat := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		nv := stream.IntRange(2, 6)
+		nw := stream.IntRange(2, 8)
+		a := stream.IntRange(1, nv)
+		b := stream.IntRange(1, nw)
+		g := RandomBipartite(nv, nw, stream.Uniform(0.2, 0.95), stream)
+		_, _, encdOK, err := SolveENCD(g, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := ReduceENCDToUnit(g, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, schedOK, err := SolveUnit(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if encdOK != schedOK {
+			t.Fatalf("trial %d: ENCD=%v but reduced instance=%v", trial, encdOK, schedOK)
+		}
+		if encdOK {
+			sat++
+		} else {
+			unsat++
+		}
+	}
+	if sat == 0 || unsat == 0 {
+		t.Fatalf("degenerate coverage: sat=%d unsat=%d", sat, unsat)
+	}
+}
+
+// TestReductionFlexible verifies Theorem 4.1(ii): the padded reduction to
+// OFFLINE-COUPLED(µ=∞) preserves satisfiability, the padding forcing
+// exactly a processors to be used.
+func TestReductionFlexible(t *testing.T) {
+	stream := rng.New(33)
+	sat, unsat := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		nv := stream.IntRange(2, 5)
+		nw := stream.IntRange(2, 6)
+		a := stream.IntRange(1, nv)
+		b := stream.IntRange(1, nw)
+		g := RandomBipartite(nv, nw, stream.Uniform(0.2, 0.95), stream)
+		_, _, encdOK, err := SolveENCD(g, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := ReduceENCDToFlexible(g, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, schedOK, err := SolveFlexible(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if encdOK != schedOK {
+			t.Fatalf("trial %d: ENCD=%v but reduced µ=∞ instance=%v (a=%d b=%d)",
+				trial, encdOK, schedOK, a, b)
+		}
+		if schedOK && len(sol.Procs) != a {
+			t.Fatalf("trial %d: padding failed to force %d processors (got %d)",
+				trial, a, len(sol.Procs))
+		}
+		if encdOK {
+			sat++
+		} else {
+			unsat++
+		}
+	}
+	if sat == 0 || unsat == 0 {
+		t.Fatalf("degenerate coverage: sat=%d unsat=%d", sat, unsat)
+	}
+}
+
+// TestReductionWitnessRoundTrip converts a witness of the reduced problem
+// back to a bi-clique, closing the loop of the Theorem 4.1(i) proof.
+func TestReductionWitnessRoundTrip(t *testing.T) {
+	stream := rng.New(34)
+	for trial := 0; trial < 100; trial++ {
+		g := RandomBipartite(5, 7, 0.7, stream)
+		a, b := 2, 3
+		in, err := ReduceENCDToUnit(g, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, ok, err := SolveUnit(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		// Processors = U1, slots = U2.
+		if err := VerifyBiclique(g, sol.Procs, sol.SlotsUsed[:b], a, b); err != nil {
+			t.Fatalf("trial %d: witness does not map back to a biclique: %v", trial, err)
+		}
+	}
+}
+
+func BenchmarkSolveUnit(b *testing.B) {
+	stream := rng.New(35)
+	in := randomInstance(stream, 20, 40, 6, 8, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SolveUnit(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveENCD(b *testing.B) {
+	stream := rng.New(36)
+	g := RandomBipartite(14, 18, 0.6, stream)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := SolveENCD(g, 5, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package platform models the desktop-grid hardware of Section III.B: a
+// set of p volatile processors, each with a compute speed (w_q slots per
+// task), a concurrency capacity (µ_q tasks at once), and a 3-state Markov
+// availability matrix, plus the master's bounded multi-port communication
+// capacity n_com = ⌊BW/bw⌋.
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"tightsched/internal/markov"
+	"tightsched/internal/rng"
+)
+
+// UnboundedCapacity is the µ_q value for a worker that can execute any
+// number of tasks concurrently (µ = +∞ in the paper; µ = m is equivalent).
+const UnboundedCapacity = math.MaxInt32
+
+// Processor describes one worker.
+type Processor struct {
+	// Speed is w_q: the number of time-slots this processor needs per
+	// task when continuously UP. Smaller is faster.
+	Speed int
+	// Capacity is µ_q: the maximum number of tasks the processor can
+	// execute concurrently (limited by its memory in the paper's model).
+	Capacity int
+	// Avail is the 3-state availability transition matrix.
+	Avail markov.Matrix
+}
+
+// Validate checks the processor's parameters.
+func (p Processor) Validate() error {
+	if p.Speed <= 0 {
+		return fmt.Errorf("platform: speed %d, want positive", p.Speed)
+	}
+	if p.Capacity <= 0 {
+		return fmt.Errorf("platform: capacity %d, want positive", p.Capacity)
+	}
+	return p.Avail.Validate()
+}
+
+// Platform is the full desktop grid.
+type Platform struct {
+	Procs []Processor
+	// Ncom is the master's bounded multi-port constraint: the maximum
+	// number of simultaneous worker communications (program or data).
+	Ncom int
+}
+
+// Validate checks the platform's parameters.
+func (pl *Platform) Validate() error {
+	if len(pl.Procs) == 0 {
+		return fmt.Errorf("platform: no processors")
+	}
+	if pl.Ncom <= 0 {
+		return fmt.Errorf("platform: ncom %d, want positive", pl.Ncom)
+	}
+	for i, p := range pl.Procs {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("processor %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of processors.
+func (pl *Platform) Size() int { return len(pl.Procs) }
+
+// Matrices returns the availability matrices of all processors, in order,
+// in the shape the analytic layer consumes.
+func (pl *Platform) Matrices() []markov.Matrix {
+	ms := make([]markov.Matrix, len(pl.Procs))
+	for i, p := range pl.Procs {
+		ms[i] = p.Avail
+	}
+	return ms
+}
+
+// Speeds returns the w_q vector.
+func (pl *Platform) Speeds() []int {
+	ws := make([]int, len(pl.Procs))
+	for i, p := range pl.Procs {
+		ws[i] = p.Speed
+	}
+	return ws
+}
+
+// TotalCapacity returns Σ µ_q, saturating on overflow.
+func (pl *Platform) TotalCapacity() int {
+	total := 0
+	for _, p := range pl.Procs {
+		if total > math.MaxInt32-p.Capacity {
+			return math.MaxInt32
+		}
+		total += p.Capacity
+	}
+	return total
+}
+
+// PaperConfig carries the synthetic-scenario parameters of Section VII.A.
+type PaperConfig struct {
+	P    int // number of processors (the paper uses 20)
+	Wmin int // minimum per-task speed; w_q ~ U[Wmin, 10·Wmin]
+	Ncom int // master communication capacity
+	// StayLo/StayHi bound the per-state self-loop probabilities
+	// (the paper uses 0.90 and 0.99).
+	StayLo, StayHi float64
+}
+
+// DefaultPaperConfig returns the Section VII.A parameters with the given
+// sweep coordinates.
+func DefaultPaperConfig(wmin, ncom int) PaperConfig {
+	return PaperConfig{P: 20, Wmin: wmin, Ncom: ncom, StayLo: 0.90, StayHi: 0.99}
+}
+
+// GeneratePaper draws a random platform following Section VII.A: for each
+// processor, each self-loop probability P(x,x) is uniform in
+// [StayLo, StayHi) and the two out-probabilities split the rest evenly;
+// w_q is uniform on the integers [Wmin, 10·Wmin]; capacities are
+// unbounded (the paper's experiments set no µ limit).
+func GeneratePaper(cfg PaperConfig, stream *rng.Stream) *Platform {
+	if cfg.P <= 0 || cfg.Wmin <= 0 || cfg.Ncom <= 0 {
+		panic(fmt.Sprintf("platform: invalid paper config %+v", cfg))
+	}
+	if cfg.StayLo < 0 || cfg.StayHi > 1 || cfg.StayLo > cfg.StayHi {
+		panic(fmt.Sprintf("platform: invalid stay bounds %+v", cfg))
+	}
+	procs := make([]Processor, cfg.P)
+	for i := range procs {
+		m := markov.PerState(
+			stream.Uniform(cfg.StayLo, cfg.StayHi),
+			stream.Uniform(cfg.StayLo, cfg.StayHi),
+			stream.Uniform(cfg.StayLo, cfg.StayHi),
+		)
+		procs[i] = Processor{
+			Speed:    stream.IntRange(cfg.Wmin, 10*cfg.Wmin),
+			Capacity: UnboundedCapacity,
+			Avail:    m,
+		}
+	}
+	return &Platform{Procs: procs, Ncom: cfg.Ncom}
+}
+
+// Homogeneous builds a platform of p identical processors, useful for
+// tests and for the off-line problem instances of Section IV (which assume
+// w_q = w).
+func Homogeneous(p int, speed, capacity, ncom int, avail markov.Matrix) *Platform {
+	procs := make([]Processor, p)
+	for i := range procs {
+		procs[i] = Processor{Speed: speed, Capacity: capacity, Avail: avail}
+	}
+	return &Platform{Procs: procs, Ncom: ncom}
+}

@@ -1,0 +1,163 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tightsched/internal/markov"
+	"tightsched/internal/rng"
+)
+
+func TestProcessorValidate(t *testing.T) {
+	good := Processor{Speed: 3, Capacity: 1, Avail: markov.Uniform(0.9)}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Processor{
+		{Speed: 0, Capacity: 1, Avail: markov.Uniform(0.9)},
+		{Speed: 1, Capacity: 0, Avail: markov.Uniform(0.9)},
+		{Speed: 1, Capacity: 1}, // zero-value matrix is invalid
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("accepted invalid processor %+v", bad)
+		}
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	pl := Homogeneous(3, 2, 1, 2, markov.Uniform(0.95))
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (&Platform{Ncom: 1}).Validate() == nil {
+		t.Fatal("accepted empty platform")
+	}
+	pl.Ncom = 0
+	if pl.Validate() == nil {
+		t.Fatal("accepted ncom=0")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	pl := &Platform{
+		Procs: []Processor{
+			{Speed: 1, Capacity: 2, Avail: markov.Uniform(0.9)},
+			{Speed: 5, Capacity: 3, Avail: markov.Uniform(0.95)},
+		},
+		Ncom: 4,
+	}
+	if pl.Size() != 2 {
+		t.Fatal("size")
+	}
+	if got := pl.Speeds(); got[0] != 1 || got[1] != 5 {
+		t.Fatalf("speeds %v", got)
+	}
+	if got := pl.Matrices(); got[1] != markov.Uniform(0.95) {
+		t.Fatal("matrices")
+	}
+	if pl.TotalCapacity() != 5 {
+		t.Fatalf("total capacity %d", pl.TotalCapacity())
+	}
+}
+
+func TestTotalCapacitySaturates(t *testing.T) {
+	pl := Homogeneous(10, 1, UnboundedCapacity, 1, markov.Uniform(0.9))
+	if pl.TotalCapacity() <= 0 {
+		t.Fatal("capacity overflowed")
+	}
+}
+
+func TestGeneratePaperShape(t *testing.T) {
+	cfg := DefaultPaperConfig(3, 10)
+	pl := GeneratePaper(cfg, rng.New(42))
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Size() != 20 || pl.Ncom != 10 {
+		t.Fatalf("size=%d ncom=%d", pl.Size(), pl.Ncom)
+	}
+	for i, p := range pl.Procs {
+		if p.Speed < 3 || p.Speed > 30 {
+			t.Fatalf("proc %d speed %d outside [wmin, 10wmin]", i, p.Speed)
+		}
+		if p.Capacity != UnboundedCapacity {
+			t.Fatalf("proc %d capacity %d", i, p.Capacity)
+		}
+		for s := 0; s < markov.NumStates; s++ {
+			stay := p.Avail[s][s]
+			if stay < 0.90 || stay >= 0.99 {
+				t.Fatalf("proc %d state %d self-loop %v outside [0.90, 0.99)", i, s, stay)
+			}
+			// Off-diagonals split the remainder evenly.
+			var others []float64
+			for j := 0; j < markov.NumStates; j++ {
+				if j != s {
+					others = append(others, p.Avail[s][j])
+				}
+			}
+			if diff := others[0] - others[1]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("proc %d state %d off-diagonals differ: %v", i, s, others)
+			}
+		}
+	}
+}
+
+func TestGeneratePaperDeterministic(t *testing.T) {
+	cfg := DefaultPaperConfig(2, 5)
+	a := GeneratePaper(cfg, rng.New(7))
+	b := GeneratePaper(cfg, rng.New(7))
+	for i := range a.Procs {
+		if a.Procs[i] != b.Procs[i] {
+			t.Fatalf("generation not deterministic at proc %d", i)
+		}
+	}
+}
+
+func TestGeneratePaperSpeedsSpanRange(t *testing.T) {
+	// Property: across many draws, speeds cover both halves of the range.
+	if err := quick.Check(func(seed uint32) bool {
+		pl := GeneratePaper(DefaultPaperConfig(1, 5), rng.New(uint64(seed)))
+		lo, hi := false, false
+		for _, p := range pl.Procs {
+			if p.Speed <= 5 {
+				lo = true
+			}
+			if p.Speed >= 6 {
+				hi = true
+			}
+		}
+		return lo || hi // any single platform hits at least one half
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratePaperPanics(t *testing.T) {
+	for name, cfg := range map[string]PaperConfig{
+		"p=0":        {P: 0, Wmin: 1, Ncom: 1, StayLo: 0.9, StayHi: 0.99},
+		"wmin=0":     {P: 1, Wmin: 0, Ncom: 1, StayLo: 0.9, StayHi: 0.99},
+		"ncom=0":     {P: 1, Wmin: 1, Ncom: 0, StayLo: 0.9, StayHi: 0.99},
+		"stay order": {P: 1, Wmin: 1, Ncom: 1, StayLo: 0.99, StayHi: 0.9},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("GeneratePaper(%s) did not panic", name)
+				}
+			}()
+			GeneratePaper(cfg, rng.New(1))
+		}()
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	pl := Homogeneous(4, 7, 2, 3, markov.Uniform(0.92))
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pl.Procs {
+		if p.Speed != 7 || p.Capacity != 2 {
+			t.Fatalf("unexpected processor %+v", p)
+		}
+	}
+}

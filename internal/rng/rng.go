@@ -1,0 +1,197 @@
+// Package rng provides small, deterministic, splittable pseudo-random
+// number generators for reproducible simulation experiments.
+//
+// The experiment harness needs three properties that the global
+// math/rand generator does not give directly:
+//
+//  1. Every trial must be a pure function of a (scenario, trial) seed pair,
+//     so that any instance of the 6,000-instance sweep can be re-run in
+//     isolation and produce the same availability realization.
+//  2. Independent streams must be cheaply derivable from a parent stream
+//     (for example, one stream per processor, one for the RANDOM heuristic),
+//     without the streams being correlated.
+//  3. The generator must be safe to use from many goroutines at once as
+//     long as each goroutine owns its own Stream.
+//
+// The implementation is xoshiro256** seeded through SplitMix64, the
+// initialization recommended by the xoshiro authors. Both algorithms are
+// public domain and implemented here from the published reference code.
+package rng
+
+import "math"
+
+// splitmix64 advances a 64-bit SplitMix64 state and returns the next output.
+// It is used for seeding and for deriving child stream seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a deterministic pseudo-random stream (xoshiro256**).
+// The zero value is not valid; use New or Stream.Split.
+type Stream struct {
+	s [4]uint64
+}
+
+// New returns a Stream seeded from the given 64-bit seed.
+// Distinct seeds yield independent-looking streams.
+func New(seed uint64) *Stream {
+	var st Stream
+	sm := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&sm)
+	}
+	// xoshiro256** must not be seeded with the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &st
+}
+
+// NewKeyed returns a Stream derived from a seed and a sequence of keys.
+// It is a convenience for deriving per-(scenario, trial, purpose) streams:
+// streams created with different key sequences are decorrelated.
+func NewKeyed(seed uint64, keys ...uint64) *Stream {
+	sm := seed
+	mixed := splitmix64(&sm)
+	for _, k := range keys {
+		sm ^= k * 0x9e3779b97f4a7c15
+		mixed = splitmix64(&sm) ^ (mixed << 1)
+	}
+	return New(mixed)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Stream) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Split returns a new Stream whose future outputs are independent of the
+// parent's. The parent stream is advanced.
+func (s *Stream) Split() *Stream {
+	return New(s.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 {
+	// 53 high-quality bits -> [0,1) with full double precision.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := s.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-int64(n)) % uint64(n)
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// IntRange returns a uniform integer in the inclusive range [lo, hi].
+// It panics if hi < lo.
+func (s *Stream) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + s.IntN(hi-lo+1)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.IntN(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function, following the Fisher-Yates algorithm.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.IntN(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Categorical samples an index i with probability weights[i] / sum(weights).
+// It panics if weights is empty, contains a negative or non-finite value,
+// or sums to zero.
+func (s *Stream) Categorical(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: Categorical with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic("rng: Categorical with invalid weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Categorical with zero total weight")
+	}
+	x := s.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,282 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	s := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("zero-seeded stream looks degenerate: %d distinct values of 100", len(seen))
+	}
+}
+
+func TestNewKeyedIndependence(t *testing.T) {
+	a := NewKeyed(7, 1, 2)
+	b := NewKeyed(7, 1, 3)
+	c := NewKeyed(7, 2, 2)
+	ax, bx, cx := a.Uint64(), b.Uint64(), c.Uint64()
+	if ax == bx || ax == cx || bx == cx {
+		t.Fatalf("keyed streams collided: %x %x %x", ax, bx, cx)
+	}
+	// Same keys must reproduce.
+	if got := NewKeyed(7, 1, 2).Uint64(); got != ax {
+		t.Fatalf("NewKeyed not deterministic: %x vs %x", got, ax)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	matches := 0
+	for i := 0; i < 200; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("parent and split child matched %d times", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(0.90, 0.99)
+		if v < 0.90 || v >= 0.99 {
+			t.Fatalf("Uniform(0.90,0.99) out of range: %v", v)
+		}
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	s := New(6)
+	if err := quick.Check(func(raw uint16) bool {
+		n := int(raw%1000) + 1
+		v := s.IntN(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntNUniformity(t *testing.T) {
+	s := New(7)
+	const n = 10
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[s.IntN(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("bucket %d count %d deviates from %v by more than 5%%", i, c, want)
+		}
+	}
+}
+
+func TestIntNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntN(0) did not panic")
+		}
+	}()
+	New(1).IntN(0)
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10000; i++ {
+		v := s.IntRange(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("IntRange(3,7) out of range: %d", v)
+		}
+	}
+	// Degenerate single-point range.
+	if v := s.IntRange(5, 5); v != 5 {
+		t.Fatalf("IntRange(5,5) = %d", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9)
+	for n := 0; n <= 20; n++ {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(10)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed element multiset: %v", xs)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(12)
+	const p = 0.3
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-p) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %v", rate)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	s := New(13)
+	w := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Categorical(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Categorical bucket %d rate %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{{}, {0, 0}, {-1, 2}, {math.NaN()}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Categorical(%v) did not panic", w)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b   uint64
+		hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntN(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= s.IntN(20)
+	}
+	_ = sink
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"sort"
+
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+)
+
+// This file adds the static-criterion greedy schedulers that the paper's
+// related-work section attributes to earlier desktop-grid systems (Kondo
+// et al., Estrada et al.): processors ranked by a static property — clock
+// rate or raw availability — with no probabilistic machinery. They are
+// not among the paper's 17 heuristics; they serve as additional baselines
+// for the library's users and for the extension experiments in
+// EXPERIMENTS.md. Both are passive (they keep a configuration until the
+// engine clears it).
+
+// ExtendedNames returns the names of the extension baselines accepted by
+// Build in addition to Names().
+func ExtendedNames() []string {
+	return []string{"FASTEST", "RELIABLE"}
+}
+
+// staticRank assigns tasks greedily to UP workers in the order of a
+// static score (higher first), balancing by the resulting workload: each
+// task goes to the best-ranked worker whose marginal workload increase is
+// smallest among the top candidates. In practice this reproduces the
+// "sort by clock-rate / availability, fill in order" policies of the
+// earlier systems.
+type staticRank struct {
+	env   *Env
+	name  string
+	score func(env *Env, q int) float64
+}
+
+// Name implements Heuristic.
+func (h *staticRank) Name() string { return h.name }
+
+// Decide implements Heuristic.
+func (h *staticRank) Decide(v *View) app.Assignment {
+	if v.Current != nil {
+		return v.Current
+	}
+	m := h.env.App.Tasks
+	ups := upWorkers(v.States)
+	if capacityOf(h.env, ups) < m {
+		return nil
+	}
+	// Rank the UP workers by static score, best first; ties by index.
+	ranked := append([]int(nil), ups...)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		sa, sb := h.score(h.env, ranked[a]), h.score(h.env, ranked[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return ranked[a] < ranked[b]
+	})
+	asg := make(app.Assignment, h.env.Platform.Size())
+	speeds := h.env.Platform.Speeds()
+	for task := 0; task < m; task++ {
+		// Among the ranked workers, place the task where it increases
+		// the workload least, scanning in rank order so equal-increase
+		// ties favour better-ranked workers.
+		best := -1
+		bestLoad := 0
+		for _, q := range ranked {
+			if asg[q] >= h.env.Platform.Procs[q].Capacity {
+				continue
+			}
+			load := (asg[q] + 1) * speeds[q]
+			if best == -1 || load < bestLoad {
+				best, bestLoad = q, load
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		asg[best]++
+	}
+	return asg
+}
+
+// fastestScore ranks by clock rate (lower w_q is faster).
+func fastestScore(env *Env, q int) float64 {
+	return -float64(env.Platform.Procs[q].Speed)
+}
+
+// reliableScore ranks by the one-step probability of staying UP, the
+// simplest static availability statistic.
+func reliableScore(env *Env, q int) float64 {
+	return env.Platform.Procs[q].Avail[markov.Up][markov.Up]
+}
+
+// buildExtended constructs an extension baseline, or returns nil if the
+// name is not one.
+func buildExtended(name string, env *Env) Heuristic {
+	switch name {
+	case "FASTEST":
+		return &staticRank{env: env, name: name, score: fastestScore}
+	case "RELIABLE":
+		return &staticRank{env: env, name: name, score: reliableScore}
+	default:
+		return nil
+	}
+}

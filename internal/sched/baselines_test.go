@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"testing"
+
+	"tightsched/internal/analytic"
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+)
+
+func TestExtendedNamesBuild(t *testing.T) {
+	env := testEnv(60, 6, 5, 3, 1)
+	for _, name := range ExtendedNames() {
+		h, err := Build(name, env)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if h.Name() != name {
+			t.Fatalf("name %q", h.Name())
+		}
+		asg := h.Decide(allUpView(env))
+		if asg == nil || asg.TaskCount() != env.App.Tasks {
+			t.Fatalf("%s produced %v", name, asg)
+		}
+	}
+}
+
+func TestFastestPicksFastWorkers(t *testing.T) {
+	avail := markov.Uniform(0.95)
+	pl := &platform.Platform{
+		Procs: []platform.Processor{
+			{Speed: 9, Capacity: 4, Avail: avail},
+			{Speed: 1, Capacity: 4, Avail: avail}, // fastest
+			{Speed: 5, Capacity: 4, Avail: avail},
+		},
+		Ncom: 3,
+	}
+	env := &Env{
+		Platform: pl,
+		App:      app.Application{Tasks: 2, Tprog: 1, Tdata: 1, Iterations: 1},
+		Analytic: analytic.NewPlatform(pl.Matrices(), analytic.DefaultEps),
+	}
+	asg := MustBuild("FASTEST", env).Decide(allUpView(env))
+	// Both tasks land on the fastest worker: 2 tasks × speed 1 = load 2
+	// still beats one task on speed 5.
+	if asg[1] != 2 {
+		t.Fatalf("FASTEST chose %v", asg)
+	}
+}
+
+func TestFastestBalancesLoad(t *testing.T) {
+	avail := markov.Uniform(0.95)
+	pl := &platform.Platform{
+		Procs: []platform.Processor{
+			{Speed: 3, Capacity: 4, Avail: avail},
+			{Speed: 4, Capacity: 4, Avail: avail},
+		},
+		Ncom: 2,
+	}
+	env := &Env{
+		Platform: pl,
+		App:      app.Application{Tasks: 2, Tprog: 1, Tdata: 1, Iterations: 1},
+		Analytic: analytic.NewPlatform(pl.Matrices(), analytic.DefaultEps),
+	}
+	asg := MustBuild("FASTEST", env).Decide(allUpView(env))
+	// Two tasks on the speed-3 worker would load 6; spreading loads 4.
+	if asg[0] != 1 || asg[1] != 1 {
+		t.Fatalf("FASTEST should spread: %v", asg)
+	}
+}
+
+func TestReliablePicksStableWorkers(t *testing.T) {
+	flaky := markov.PerState(0.90, 0.9, 0.9)
+	steady := markov.PerState(0.98, 0.9, 0.9)
+	pl := &platform.Platform{
+		Procs: []platform.Processor{
+			{Speed: 2, Capacity: 4, Avail: flaky},
+			{Speed: 2, Capacity: 4, Avail: steady},
+		},
+		Ncom: 2,
+	}
+	env := &Env{
+		Platform: pl,
+		App:      app.Application{Tasks: 1, Tprog: 1, Tdata: 1, Iterations: 1},
+		Analytic: analytic.NewPlatform(pl.Matrices(), analytic.DefaultEps),
+	}
+	asg := MustBuild("RELIABLE", env).Decide(allUpView(env))
+	if asg[1] != 1 {
+		t.Fatalf("RELIABLE chose %v", asg)
+	}
+}
+
+func TestBaselinesArePassive(t *testing.T) {
+	env := testEnv(61, 5, 5, 2, 1)
+	cur := app.Assignment{1, 1, 0, 0, 0}
+	v := allUpView(env)
+	v.Current = cur
+	for _, name := range ExtendedNames() {
+		if got := MustBuild(name, env).Decide(v); !got.Equal(cur) {
+			t.Fatalf("%s reconfigured without a failure", name)
+		}
+	}
+}
+
+func TestBaselinesRespectUpAndCapacity(t *testing.T) {
+	env := testEnv(62, 6, 5, 4, 1)
+	for q := range env.Platform.Procs {
+		env.Platform.Procs[q].Capacity = 1
+	}
+	v := allUpView(env)
+	v.States[0] = markov.Down
+	v.States[1] = markov.Reclaimed
+	for _, name := range ExtendedNames() {
+		asg := MustBuild(name, env).Decide(v)
+		if asg == nil {
+			t.Fatalf("%s found nothing", name)
+		}
+		if asg[0] != 0 || asg[1] != 0 {
+			t.Fatalf("%s enrolled non-UP workers: %v", name, asg)
+		}
+		for q, x := range asg {
+			if x > 1 {
+				t.Fatalf("%s exceeded capacity on %d: %v", name, q, asg)
+			}
+		}
+	}
+	// Infeasible: only 2 UP workers with capacity 1 for 4 tasks.
+	v.States[2] = markov.Down
+	v.States[3] = markov.Down
+	for _, name := range ExtendedNames() {
+		if asg := MustBuild(name, env).Decide(v); asg != nil {
+			t.Fatalf("%s returned %v for infeasible slot", name, asg)
+		}
+	}
+}

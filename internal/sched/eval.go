@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"tightsched/internal/analytic"
+	"tightsched/internal/app"
+)
+
+// commNeedFresh returns the communication slots worker q needs to run x
+// tasks in a configuration chosen now, counting retention (program held,
+// complete data messages held) but not partial message progress — the
+// paper's incremental heuristics reason at message granularity.
+func commNeedFresh(env *Env, w WorkerInfo, x int) int {
+	need := 0
+	if !w.HasProgram {
+		need += env.App.Tprog
+	}
+	if missing := x - w.DataHeld; missing > 0 {
+		need += missing * env.App.Tdata
+	}
+	return need
+}
+
+// commNeedCurrent returns the communication slots worker q still needs
+// under the current configuration, counting partial in-flight progress
+// (the engine's ground truth, used when re-scoring the running
+// configuration for proactive comparisons).
+func commNeedCurrent(env *Env, w WorkerInfo, x int) int {
+	need := 0
+	if !w.HasProgram {
+		need += env.App.Tprog - w.ProgProgress
+	}
+	if missing := x - w.DataHeld; missing > 0 {
+		need += missing*env.App.Tdata - w.DataProgress
+	}
+	if need < 0 {
+		need = 0
+	}
+	return need
+}
+
+// statsCache memoizes the Section V set statistics of one assignment.
+// The statistics depend only on configuration membership, so re-scoring
+// the same configuration slot after slot (the proactive comparison) costs
+// one Equal check instead of a fresh series evaluation.
+type statsCache struct {
+	valid bool
+	asg   app.Assignment
+	stats analytic.SetStats
+}
+
+func (c *statsCache) get(env *Env, asg app.Assignment) analytic.SetStats {
+	if c.valid && c.asg.Equal(asg) {
+		return c.stats
+	}
+	c.stats = env.Analytic.StatsOf(asg.Enrolled())
+	c.asg = asg.Clone()
+	c.valid = true
+	return c.stats
+}
+
+// evalAssignment scores a configuration: the probability the iteration
+// completes and its expected remaining duration, per Section V:
+//
+//	P = P_comm(S) · (P⁺(S))^{W−1},  E = E_comm(S) + E(S)(W)
+//
+// st holds the configuration's set statistics; needs gives the
+// outstanding communication per enrolled worker; wrem is the remaining
+// workload in compute slots; elapsed feeds the yield.
+func evalAssignment(env *Env, st analytic.SetStats, needs []analytic.CommNeed, wrem int, elapsed int64) Value {
+	cs := env.Analytic.CommEstimateForm(needs, env.Platform.Ncom, !env.RenewalE)
+	return Value{
+		P: cs.Success * st.ProbSuccess(wrem),
+		E: cs.Expected + env.completion(st, wrem),
+		T: float64(elapsed),
+	}
+}
+
+// evalCurrent scores the running configuration with progress folded in:
+// remaining communication (including partial messages) and remaining
+// workload.
+func evalCurrent(env *Env, v *View, cache *statsCache) Value {
+	var needs []analytic.CommNeed
+	for q, x := range v.Current {
+		if x > 0 {
+			if n := commNeedCurrent(env, v.Workers[q], x); n > 0 {
+				needs = append(needs, analytic.CommNeed{Proc: q, Slots: n})
+			}
+		}
+	}
+	return evalAssignment(env, cache.get(env, v.Current), needs, v.RemainingWork, v.Elapsed)
+}
+
+// evalFresh scores a newly built configuration: full workload, fresh
+// communication needs given retention.
+func evalFresh(env *Env, v *View, asg app.Assignment, cache *statsCache) Value {
+	var needs []analytic.CommNeed
+	for q, x := range asg {
+		if x > 0 {
+			if n := commNeedFresh(env, v.Workers[q], x); n > 0 {
+				needs = append(needs, analytic.CommNeed{Proc: q, Slots: n})
+			}
+		}
+	}
+	return evalAssignment(env, cache.get(env, asg), needs, asg.Workload(env.Platform.Speeds()), v.Elapsed)
+}

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"testing"
+
+	"tightsched/internal/analytic"
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+)
+
+// TestPaperFormMakesIEReliabilityAware is the regression test for the
+// central reproduction finding (DESIGN.md, "Reproduction notes"): with
+// the paper's printed E(W) formula, IE avoids loading a long workload
+// onto an unreliable worker even when it is nominally faster, because the
+// (P⁺)^{W−1} denominator inflates the risky set's expected time. With the
+// renewal form, IE is reliability-blind and picks the fast flaky worker.
+func TestPaperFormMakesIEReliabilityAware(t *testing.T) {
+	// A fast worker that crashes often versus a slightly slower rock.
+	flaky := markov.Matrix{
+		{0.90, 0.02, 0.08},
+		{0.40, 0.40, 0.20},
+		{0.50, 0.25, 0.25},
+	}
+	steady := markov.Matrix{
+		{0.995, 0.004, 0.001},
+		{0.60, 0.399, 0.001},
+		{0.50, 0.25, 0.25},
+	}
+	pl := &platform.Platform{
+		Procs: []platform.Processor{
+			{Speed: 10, Capacity: 10, Avail: flaky},
+			{Speed: 12, Capacity: 10, Avail: steady},
+		},
+		Ncom: 2,
+	}
+	application := app.Application{Tasks: 1, Tprog: 2, Tdata: 1, Iterations: 1}
+
+	build := func(renewal bool) app.Assignment {
+		env := &Env{
+			Platform: pl,
+			App:      application,
+			Analytic: analytic.NewPlatform(pl.Matrices(), analytic.DefaultEps),
+			RenewalE: renewal,
+		}
+		v := &View{
+			States:  []markov.State{markov.Up, markov.Up},
+			Workers: make([]WorkerInfo, 2),
+		}
+		return MustBuild("IE", env).Decide(v)
+	}
+
+	paper := build(false)
+	renewal := build(true)
+
+	// Paper form: a 10-slot workload on the flaky worker has a small
+	// (P⁺)^{W−1}, so its inflated E loses to the slower steady worker.
+	if paper[1] != 1 {
+		t.Fatalf("paper-form IE should pick the steady worker: %v", paper)
+	}
+	// The renewal form, blind to reliability, picks the nominally faster
+	// flaky worker.
+	if renewal[0] != 1 {
+		t.Fatalf("renewal-form IE should pick the fast flaky worker: %v", renewal)
+	}
+}
+
+// TestFormFieldsPlumbed checks both forms produce valid configurations
+// for every heuristic (the plumbing reaches all criteria).
+func TestFormFieldsPlumbed(t *testing.T) {
+	env := testEnv(40, 8, 5, 4, 2)
+	caps := make([]int, env.Platform.Size())
+	for q, proc := range env.Platform.Procs {
+		caps[q] = proc.Capacity
+	}
+	for _, renewal := range []bool{false, true} {
+		env.RenewalE = renewal
+		for _, name := range []string{"IP", "IE", "IY", "IAY", "Y-IE", "E-IAY"} {
+			asg := MustBuild(name, env).Decide(allUpView(env))
+			if err := asg.Validate(env.App.Tasks, caps); err != nil {
+				t.Fatalf("%s (renewal=%v): %v", name, renewal, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"math"
+
+	"tightsched/internal/analytic"
+	"tightsched/internal/app"
+)
+
+// incremental is a passive heuristic of Section VI.A: it keeps the current
+// configuration until the engine clears it (a worker went DOWN or the
+// iteration completed), and otherwise builds a configuration by assigning
+// the m tasks one at a time, each to the UP worker that optimizes the
+// heuristic's criterion over the partial configuration.
+type incremental struct {
+	env  *Env
+	crit Criterion
+	name string
+}
+
+// Name implements Heuristic.
+func (h *incremental) Name() string { return h.name }
+
+// Decide implements Heuristic.
+func (h *incremental) Decide(v *View) app.Assignment {
+	if v.Current != nil {
+		return v.Current
+	}
+	return buildIncremental(h.env, v, h.crit)
+}
+
+// buildIncremental builds an assignment greedily. It returns nil when the
+// UP workers cannot host m tasks.
+//
+// Cost: m assignment steps, each scoring at most p candidates. Scoring a
+// candidate takes one O(T) series pass for the compute estimate (through
+// the incremental SetEval) plus O(|S|) for the communication estimate.
+func buildIncremental(env *Env, v *View, crit Criterion) app.Assignment {
+	m := env.App.Tasks
+	ups := upWorkers(v.States)
+	if capacityOf(env, ups) < m {
+		return nil
+	}
+
+	p := env.Platform.Size()
+	speeds := env.Platform.Speeds()
+	asg := make(app.Assignment, p)
+	se := env.Analytic.NewSetEval()
+
+	workload := 0
+	needs := make([]int, p)       // fresh comm need of each enrolled worker
+	expComm := make([]float64, p) // E^(Pq)(needs[q]) of each enrolled worker
+	totalNeed := 0
+
+	for task := 0; task < m; task++ {
+		bestQ := -1
+		bestScore := math.Inf(-1)
+		for _, q := range ups {
+			if asg[q] >= env.Platform.Procs[q].Capacity {
+				continue
+			}
+			score := scoreCandidate(env, v, se, asg, q,
+				speeds, workload, needs, expComm, totalNeed, crit)
+			if score > bestScore {
+				bestScore = score
+				bestQ = q
+			}
+		}
+		if bestQ < 0 {
+			return nil
+		}
+		if !se.Contains(bestQ) {
+			se.Add(bestQ)
+		}
+		asg[bestQ]++
+		totalNeed -= needs[bestQ]
+		needs[bestQ] = commNeedFresh(env, v.Workers[bestQ], asg[bestQ])
+		totalNeed += needs[bestQ]
+		expComm[bestQ] = env.expectedComm(bestQ, needs[bestQ])
+		if l := asg[bestQ] * speeds[bestQ]; l > workload {
+			workload = l
+		}
+	}
+	return asg
+}
+
+// capacityOf returns the total task capacity of the given workers, capped
+// at the application size to avoid overflow with unbounded capacities.
+func capacityOf(env *Env, workers []int) int {
+	m := env.App.Tasks
+	total := 0
+	for _, q := range workers {
+		c := env.Platform.Procs[q].Capacity
+		if c > m {
+			c = m
+		}
+		total += c
+		if total >= m {
+			return m
+		}
+	}
+	return total
+}
+
+// scoreCandidate evaluates the criterion for assigning one more task to
+// worker q on top of the partial configuration (asg, se).
+func scoreCandidate(env *Env, v *View, se *analytic.SetEval, asg app.Assignment,
+	q int, speeds []int, workload int, needs []int, expComm []float64,
+	totalNeed int, crit Criterion) float64 {
+
+	x := asg[q] + 1
+	w := workload
+	if l := x * speeds[q]; l > w {
+		w = l
+	}
+	needQ := commNeedFresh(env, v.Workers[q], x)
+	expQ := env.expectedComm(q, needQ)
+
+	// E_comm over S ∪ {q} with q's need replaced.
+	maxSingle := expQ
+	for _, mq := range se.Members() {
+		if mq != q && expComm[mq] > maxSingle {
+			maxSingle = expComm[mq]
+		}
+	}
+	total := totalNeed - needs[q] + needQ
+	ecomm := maxSingle
+	if agg := float64(total) / float64(env.Platform.Ncom); agg > ecomm {
+		ecomm = agg
+	}
+
+	// P_comm over S ∪ {q}.
+	pcomm := 1.0
+	inSet := se.Contains(q)
+	if !inSet {
+		pcomm = env.Analytic.Procs[q].SurviveQ(ecomm)
+	}
+	for _, mq := range se.Members() {
+		pcomm *= env.Analytic.Procs[mq].SurviveQ(ecomm)
+	}
+
+	var st analytic.SetStats
+	if inSet {
+		st = se.Stats()
+	} else {
+		st = se.CandidateStats(q)
+	}
+	val := Value{
+		P: pcomm * st.ProbSuccess(w),
+		E: ecomm + env.completion(st, w),
+		T: float64(v.Elapsed),
+	}
+	return crit.Score(val)
+}

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+)
+
+// proactive wraps a passive incremental heuristic H with a switch
+// criterion C, per Section VI.B: every slot it builds a candidate
+// configuration from scratch with H and compares it, under C, against the
+// progress-updated value of the running configuration. The candidate is
+// adopted only if strictly better (the paper keeps the current
+// configuration when c >= c2), which together with the progress update
+// realizes the paper's no-divergence constraint: a configuration that has
+// run longer scores at least as well as the same configuration started
+// fresh, so the scheduler cannot oscillate between configurations.
+type proactive struct {
+	env  *Env
+	base *incremental
+	crit Criterion
+	name string
+
+	// Candidate cache: the fresh build depends only on which workers are
+	// UP and on message-granularity retention, both captured by the
+	// engine's retention epoch. Re-scoring a cached candidate is cheap;
+	// rebuilding it costs m·p series evaluations.
+	cacheValid bool
+	cacheUp    []bool
+	cacheEpoch int64
+	cacheAsg   app.Assignment
+
+	// Set-statistics caches for re-scoring the running and candidate
+	// configurations (membership-dependent only).
+	curStats  statsCache
+	candStats statsCache
+}
+
+// Name implements Heuristic.
+func (h *proactive) Name() string { return h.name }
+
+// Decide implements Heuristic.
+func (h *proactive) Decide(v *View) app.Assignment {
+	cand := h.candidate(v)
+	if v.Current == nil {
+		return cand
+	}
+	if cand == nil || cand.Equal(v.Current) {
+		return v.Current
+	}
+	cur := h.crit.Score(evalCurrent(h.env, v, &h.curStats))
+	alt := h.crit.Score(evalFresh(h.env, v, cand, &h.candStats))
+	if cur >= alt {
+		return v.Current
+	}
+	return cand
+}
+
+// candidate returns the fresh configuration H would build now, using the
+// (UP set, retention epoch) cache.
+func (h *proactive) candidate(v *View) app.Assignment {
+	if h.cacheValid && h.cacheEpoch == v.RetentionEpoch && h.sameUp(v) {
+		return h.cacheAsg
+	}
+	cand := buildIncremental(h.env, v, h.base.crit)
+	if h.cacheUp == nil {
+		h.cacheUp = make([]bool, len(v.States))
+	}
+	for q, s := range v.States {
+		h.cacheUp[q] = s == markov.Up
+	}
+	h.cacheEpoch = v.RetentionEpoch
+	h.cacheAsg = cand
+	h.cacheValid = true
+	return cand
+}
+
+func (h *proactive) sameUp(v *View) bool {
+	if h.cacheUp == nil || len(h.cacheUp) != len(v.States) {
+		return false
+	}
+	for q, s := range v.States {
+		if (s == markov.Up) != h.cacheUp[q] {
+			return false
+		}
+	}
+	return true
+}

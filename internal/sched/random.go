@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"tightsched/internal/app"
+)
+
+// random is the baseline heuristic of Section VI: it behaves passively
+// (keeps the configuration until the engine clears it) and, when asked
+// for a new configuration, assigns each of the m tasks to a uniformly
+// random UP worker with remaining capacity.
+type random struct {
+	env *Env
+}
+
+// Name implements Heuristic.
+func (h *random) Name() string { return "RANDOM" }
+
+// Decide implements Heuristic.
+func (h *random) Decide(v *View) app.Assignment {
+	if v.Current != nil {
+		return v.Current
+	}
+	m := h.env.App.Tasks
+	ups := upWorkers(v.States)
+	if capacityOf(h.env, ups) < m {
+		return nil
+	}
+	asg := make(app.Assignment, h.env.Platform.Size())
+	// Draw among workers with remaining capacity; the pool shrinks as
+	// workers fill up.
+	pool := sortedCopy(ups)
+	for task := 0; task < m; task++ {
+		i := h.env.Rand.IntN(len(pool))
+		q := pool[i]
+		asg[q]++
+		if asg[q] >= h.env.Platform.Procs[q].Capacity {
+			pool = append(pool[:i], pool[i+1:]...)
+		}
+	}
+	return asg
+}

@@ -1,0 +1,319 @@
+// Package sched implements the on-line scheduling heuristics of Section VI:
+//
+//   - four passive incremental heuristics — IP (probability of success),
+//     IE (expected completion time), IY (expected yield), IAY (expected
+//     apparent yield) — that assign the m tasks one by one to UP workers,
+//     each step maximizing the heuristic's criterion;
+//   - twelve proactive heuristics C-H, with switch criterion
+//     C ∈ {P, E, Y} and building block H one of the four passive
+//     heuristics: every slot a candidate configuration is built from
+//     scratch and adopted only if it strictly beats the progress-updated
+//     value of the current configuration;
+//   - the RANDOM baseline, which assigns tasks to UP workers uniformly.
+//
+// Heuristics are pure deciders: the simulation engine owns all ground
+// truth (worker program/data retention, communication progress, compute
+// progress) and presents it through a View each slot; the heuristic
+// returns the assignment to use for that slot.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tightsched/internal/analytic"
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+	"tightsched/internal/rng"
+)
+
+// WorkerInfo is the per-worker retention state exposed to heuristics. It
+// mirrors Section III.C: a worker keeps the program across iterations
+// unless it goes DOWN, keeps complete data messages for the current
+// iteration unless it goes DOWN, and keeps partial message progress only
+// while it stays enrolled and not DOWN.
+type WorkerInfo struct {
+	// HasProgram reports whether the worker holds the application program
+	// (received at some point and not DOWN since).
+	HasProgram bool
+	// ProgProgress is the number of slots of program download completed
+	// in the current attempt (0 if HasProgram or not started).
+	ProgProgress int
+	// DataHeld is the number of complete task-data messages held for the
+	// current iteration.
+	DataHeld int
+	// DataProgress is the number of slots received of the in-flight data
+	// message, if any.
+	DataProgress int
+}
+
+// View is the per-slot snapshot a heuristic decides on.
+type View struct {
+	// Slot is the current time-slot index.
+	Slot int64
+	// States holds each processor's availability state at this slot.
+	States []markov.State
+	// Workers holds each processor's retention state.
+	Workers []WorkerInfo
+	// Current is the configuration in effect (nil at iteration start or
+	// after a failure forced a restart).
+	Current app.Assignment
+	// RemainingWork is W minus the compute slots already accumulated by
+	// the current configuration (meaningless when Current is nil).
+	RemainingWork int
+	// Elapsed is the number of slots since the current iteration first
+	// started being attempted (not reset by restarts): the paper's t in
+	// the yield Y = P/(E+t).
+	Elapsed int64
+	// RetentionEpoch is a counter the engine bumps whenever any worker's
+	// message-granularity retention changes (a program or data message
+	// completes, a worker goes DOWN, an iteration ends). Heuristics may
+	// use it to cache work that only depends on retention and UP states.
+	RetentionEpoch int64
+}
+
+// Heuristic decides, every slot, which configuration to run.
+type Heuristic interface {
+	// Name returns the paper's name for the heuristic (e.g. "Y-IE").
+	Name() string
+	// Decide returns the assignment to use at this slot. Returning an
+	// assignment Equal to v.Current keeps the configuration; returning
+	// nil means no feasible configuration exists (the engine idles one
+	// slot). The returned assignment must use only UP workers within
+	// their capacities and carry exactly m tasks.
+	Decide(v *View) app.Assignment
+}
+
+// Env bundles the immutable per-run context heuristics are built from.
+type Env struct {
+	Platform *platform.Platform
+	App      app.Application
+	// Analytic is the Section V estimator for the platform's chains.
+	Analytic *analytic.Platform
+	// Rand is the stream randomized heuristics draw from (RANDOM).
+	Rand *rng.Stream
+	// RenewalE switches the expected-completion-time metric from the
+	// formula as printed in the paper, 1 + (W−1)·Ec/(P⁺)^{W−1}, to the
+	// renewal form 1 + (W−1)·Ec/P⁺.
+	//
+	// The default (false) reproduces the paper: its (P⁺)^{W−1}
+	// denominator makes E explode for unreliable sets with long
+	// workloads, which is what makes the IE family robust in the
+	// published rankings. The renewal form is the statistically correct
+	// conditional expectation (validated by Monte-Carlo in
+	// internal/analytic) but, used as a selection metric, it leaves IE
+	// reliability-blind. See DESIGN.md ("Reproduction notes").
+	RenewalE bool
+}
+
+// completion returns the expected-completion-time metric of a set under
+// the environment's configured form.
+func (e *Env) completion(st analytic.SetStats, w int) float64 {
+	if e.RenewalE {
+		return st.ExpectedCompletion(w)
+	}
+	return st.ExpectedCompletionPaper(w)
+}
+
+// expectedComm returns the single-worker communication estimate under the
+// environment's configured form.
+func (e *Env) expectedComm(q, n int) float64 {
+	if e.RenewalE {
+		return e.Analytic.Procs[q].ExpectedComm(n)
+	}
+	return e.Analytic.Procs[q].ExpectedCommPaper(n)
+}
+
+// validate panics on an inconsistent environment; heuristics are built at
+// simulation setup where a panic is a programming error, not user input.
+func (e *Env) validate() {
+	if e.Platform == nil || e.Analytic == nil {
+		panic("sched: Env missing platform or analytic state")
+	}
+	if err := e.Platform.Validate(); err != nil {
+		panic(err)
+	}
+	if err := e.App.Validate(); err != nil {
+		panic(err)
+	}
+	if len(e.Analytic.Procs) != e.Platform.Size() {
+		panic("sched: analytic platform size mismatch")
+	}
+}
+
+// Criterion is one of the paper's four configuration metrics.
+type Criterion int
+
+const (
+	// CritP is the probability of success of the iteration.
+	CritP Criterion = iota
+	// CritE is the expected completion time of the iteration.
+	CritE
+	// CritY is the expected yield P/(t+E).
+	CritY
+	// CritAY is the expected apparent yield P/E.
+	CritAY
+)
+
+// String returns the paper's letter for the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case CritP:
+		return "P"
+	case CritE:
+		return "E"
+	case CritY:
+		return "Y"
+	case CritAY:
+		return "AY"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Value is the (P, E) estimate of a configuration at elapsed time t,
+// from which every criterion's score derives.
+type Value struct {
+	P float64 // estimated probability the iteration completes
+	E float64 // estimated expected remaining completion time in slots
+	T float64 // slots already spent in the iteration
+}
+
+// Score maps the value to a number where higher is better for the
+// criterion (E is negated).
+func (c Criterion) Score(v Value) float64 {
+	switch c {
+	case CritP:
+		return v.P
+	case CritE:
+		return -v.E
+	case CritY:
+		return v.P / (v.T + v.E)
+	case CritAY:
+		if v.E <= 0 {
+			return math.Inf(1)
+		}
+		return v.P / v.E
+	default:
+		panic(fmt.Sprintf("sched: unknown criterion %d", int(c)))
+	}
+}
+
+// Names returns the names of all 17 heuristics in the paper's order:
+// the four passive heuristics, the twelve proactive combinations, and
+// RANDOM.
+func Names() []string {
+	names := []string{"IP", "IE", "IY", "IAY"}
+	for _, c := range []string{"P", "E", "Y"} {
+		for _, h := range []string{"IP", "IE", "IY", "IAY"} {
+			names = append(names, c+"-"+h)
+		}
+	}
+	names = append(names, "RANDOM")
+	return names
+}
+
+// Build constructs the named heuristic over the environment. Valid names
+// are those returned by Names plus the extension baselines of
+// ExtendedNames.
+func Build(name string, env *Env) (Heuristic, error) {
+	env.validate()
+	if name == "RANDOM" {
+		if env.Rand == nil {
+			return nil, fmt.Errorf("sched: RANDOM requires Env.Rand")
+		}
+		return &random{env: env}, nil
+	}
+	if h := buildExtended(name, env); h != nil {
+		return h, nil
+	}
+	base, proCrit, err := parseName(name)
+	if err != nil {
+		return nil, err
+	}
+	inc := &incremental{env: env, crit: base, name: baseName(base)}
+	if proCrit < 0 {
+		return inc, nil
+	}
+	return &proactive{env: env, base: inc, crit: proCrit, name: name}, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func MustBuild(name string, env *Env) Heuristic {
+	h, err := Build(name, env)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// parseName splits "C-H" or "H" into the base incremental criterion and
+// the proactive criterion (-1 when passive).
+func parseName(name string) (base Criterion, pro Criterion, err error) {
+	pro = -1
+	rest := name
+	for i := 0; i < len(name); i++ {
+		if name[i] == '-' {
+			switch name[:i] {
+			case "P":
+				pro = CritP
+			case "E":
+				pro = CritE
+			case "Y":
+				pro = CritY
+			default:
+				return 0, 0, fmt.Errorf("sched: unknown proactive criterion %q in %q", name[:i], name)
+			}
+			rest = name[i+1:]
+			break
+		}
+	}
+	switch rest {
+	case "IP":
+		base = CritP
+	case "IE":
+		base = CritE
+	case "IY":
+		base = CritY
+	case "IAY":
+		base = CritAY
+	default:
+		return 0, 0, fmt.Errorf("sched: unknown heuristic %q", name)
+	}
+	return base, pro, nil
+}
+
+func baseName(c Criterion) string {
+	switch c {
+	case CritP:
+		return "IP"
+	case CritE:
+		return "IE"
+	case CritY:
+		return "IY"
+	case CritAY:
+		return "IAY"
+	}
+	panic("sched: bad base criterion")
+}
+
+// upWorkers returns the indices of UP processors, in increasing order.
+func upWorkers(states []markov.State) []int {
+	var ups []int
+	for q, s := range states {
+		if s == markov.Up {
+			ups = append(ups, q)
+		}
+	}
+	return ups
+}
+
+// sortedCopy returns a sorted copy of xs (used to stabilize outputs).
+func sortedCopy(xs []int) []int {
+	c := make([]int, len(xs))
+	copy(c, xs)
+	sort.Ints(c)
+	return c
+}

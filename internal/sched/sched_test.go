@@ -1,0 +1,429 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"tightsched/internal/analytic"
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+	"tightsched/internal/rng"
+)
+
+// testEnv builds a deterministic paper-style environment.
+func testEnv(seed uint64, p, ncom, m, wmin int) *Env {
+	cfg := platform.PaperConfig{P: p, Wmin: wmin, Ncom: ncom, StayLo: 0.90, StayHi: 0.99}
+	pl := platform.GeneratePaper(cfg, rng.New(seed))
+	return &Env{
+		Platform: pl,
+		App:      app.Application{Tasks: m, Tprog: 5 * wmin, Tdata: wmin, Iterations: 10},
+		Analytic: analytic.NewPlatform(pl.Matrices(), analytic.DefaultEps),
+		Rand:     rng.New(seed + 1),
+	}
+}
+
+// allUpView returns a fresh-iteration view with every processor UP.
+func allUpView(env *Env) *View {
+	p := env.Platform.Size()
+	states := make([]markov.State, p)
+	return &View{
+		States:  states,
+		Workers: make([]WorkerInfo, p),
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 17 {
+		t.Fatalf("got %d heuristic names, want 17", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"IP", "IE", "IY", "IAY", "Y-IE", "P-IE", "E-IAY", "RANDOM"} {
+		if !seen[want] {
+			t.Fatalf("missing heuristic %q", want)
+		}
+	}
+}
+
+func TestBuildAllNames(t *testing.T) {
+	env := testEnv(1, 6, 5, 3, 1)
+	for _, name := range Names() {
+		h, err := Build(name, env)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if h.Name() != name {
+			t.Fatalf("Build(%q).Name() = %q", name, h.Name())
+		}
+	}
+}
+
+func TestBuildRejectsUnknown(t *testing.T) {
+	env := testEnv(2, 4, 2, 2, 1)
+	for _, name := range []string{"", "XX", "Q-IE", "P-XX", "AY-IE", "random"} {
+		if _, err := Build(name, env); err == nil {
+			t.Fatalf("Build(%q) accepted", name)
+		}
+	}
+}
+
+func TestBuildRandomNeedsStream(t *testing.T) {
+	env := testEnv(3, 4, 2, 2, 1)
+	env.Rand = nil
+	if _, err := Build("RANDOM", env); err == nil {
+		t.Fatal("RANDOM without stream accepted")
+	}
+}
+
+func TestCriterionScores(t *testing.T) {
+	v := Value{P: 0.5, E: 10, T: 5}
+	if CritP.Score(v) != 0.5 {
+		t.Fatal("P score")
+	}
+	if CritE.Score(v) != -10 {
+		t.Fatal("E score")
+	}
+	if math.Abs(CritY.Score(v)-0.5/15) > 1e-12 {
+		t.Fatal("Y score")
+	}
+	if math.Abs(CritAY.Score(v)-0.05) > 1e-12 {
+		t.Fatal("AY score")
+	}
+	if CritAY.Score(Value{P: 1, E: 0}) != math.Inf(1) {
+		t.Fatal("AY with zero E")
+	}
+	for c, want := range map[Criterion]string{CritP: "P", CritE: "E", CritY: "Y", CritAY: "AY"} {
+		if c.String() != want {
+			t.Fatalf("criterion %d string %q", int(c), c.String())
+		}
+	}
+}
+
+func TestIncrementalAssignsAllTasks(t *testing.T) {
+	env := testEnv(4, 10, 5, 5, 2)
+	caps := make([]int, env.Platform.Size())
+	for q, proc := range env.Platform.Procs {
+		caps[q] = proc.Capacity
+	}
+	for _, name := range []string{"IP", "IE", "IY", "IAY"} {
+		h := MustBuild(name, env)
+		asg := h.Decide(allUpView(env))
+		if asg == nil {
+			t.Fatalf("%s returned nil on an all-UP platform", name)
+		}
+		if err := asg.Validate(env.App.Tasks, caps); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestIncrementalUsesOnlyUpWorkers(t *testing.T) {
+	env := testEnv(5, 8, 5, 4, 1)
+	v := allUpView(env)
+	v.States[0] = markov.Down
+	v.States[3] = markov.Reclaimed
+	for _, name := range []string{"IP", "IE", "IY", "IAY", "RANDOM"} {
+		asg := MustBuild(name, env).Decide(v)
+		if asg == nil {
+			t.Fatalf("%s found no configuration", name)
+		}
+		if asg[0] != 0 || asg[3] != 0 {
+			t.Fatalf("%s enrolled a non-UP worker: %v", name, asg)
+		}
+	}
+}
+
+func TestIncrementalInfeasibleReturnsNil(t *testing.T) {
+	env := testEnv(6, 4, 2, 3, 1)
+	// Capacity 1 per worker, only 2 UP workers, 3 tasks -> infeasible.
+	for q := range env.Platform.Procs {
+		env.Platform.Procs[q].Capacity = 1
+	}
+	v := allUpView(env)
+	v.States[0] = markov.Down
+	v.States[1] = markov.Reclaimed
+	for _, name := range []string{"IE", "RANDOM", "Y-IE"} {
+		if asg := MustBuild(name, env).Decide(v); asg != nil {
+			t.Fatalf("%s returned %v for an infeasible slot", name, asg)
+		}
+	}
+}
+
+func TestPassiveKeepsCurrent(t *testing.T) {
+	env := testEnv(7, 6, 5, 3, 1)
+	v := allUpView(env)
+	cur := app.Assignment{1, 1, 1, 0, 0, 0}
+	v.Current = cur
+	v.RemainingWork = 5
+	for _, name := range []string{"IP", "IE", "IY", "IAY", "RANDOM"} {
+		got := MustBuild(name, env).Decide(v)
+		if !got.Equal(cur) {
+			t.Fatalf("%s changed a live configuration: %v", name, got)
+		}
+	}
+}
+
+func TestIERanksFastReliableWorkerFirst(t *testing.T) {
+	// Two workers: one fast and one slow, identical availability. IE must
+	// put the single task on the fast one.
+	avail := markov.PerState(0.95, 0.95, 0.95)
+	pl := &platform.Platform{
+		Procs: []platform.Processor{
+			{Speed: 10, Capacity: 5, Avail: avail},
+			{Speed: 1, Capacity: 5, Avail: avail},
+		},
+		Ncom: 2,
+	}
+	env := &Env{
+		Platform: pl,
+		App:      app.Application{Tasks: 1, Tprog: 2, Tdata: 1, Iterations: 1},
+		Analytic: analytic.NewPlatform(pl.Matrices(), analytic.DefaultEps),
+	}
+	asg := MustBuild("IE", env).Decide(allUpView(env))
+	if asg[1] != 1 || asg[0] != 0 {
+		t.Fatalf("IE chose %v, want the fast worker", asg)
+	}
+}
+
+func TestIPPrefersReliableWorker(t *testing.T) {
+	// Two workers with equal speed; one is much more failure-prone. IP
+	// must choose the reliable one.
+	reliable := markov.Matrix{
+		{0.98, 0.015, 0.005},
+		{0.49, 0.5, 0.01},
+		{0.5, 0.25, 0.25},
+	}
+	flaky := markov.Matrix{
+		{0.80, 0.05, 0.15},
+		{0.40, 0.4, 0.20},
+		{0.5, 0.25, 0.25},
+	}
+	pl := &platform.Platform{
+		Procs: []platform.Processor{
+			{Speed: 3, Capacity: 5, Avail: flaky},
+			{Speed: 3, Capacity: 5, Avail: reliable},
+		},
+		Ncom: 2,
+	}
+	env := &Env{
+		Platform: pl,
+		App:      app.Application{Tasks: 1, Tprog: 2, Tdata: 1, Iterations: 1},
+		Analytic: analytic.NewPlatform(pl.Matrices(), analytic.DefaultEps),
+	}
+	asg := MustBuild("IP", env).Decide(allUpView(env))
+	if asg[1] != 1 {
+		t.Fatalf("IP chose %v, want the reliable worker", asg)
+	}
+}
+
+func TestRandomUniformSpread(t *testing.T) {
+	env := testEnv(8, 10, 5, 1, 1)
+	h := MustBuild("RANDOM", env)
+	counts := make([]int, env.Platform.Size())
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		asg := h.Decide(allUpView(env))
+		for q, x := range asg {
+			counts[q] += x
+		}
+	}
+	want := float64(draws) / float64(env.Platform.Size())
+	for q, c := range counts {
+		if math.Abs(float64(c)-want) > 0.15*want {
+			t.Fatalf("RANDOM favoured worker %d: %d of %d draws", q, c, draws)
+		}
+	}
+}
+
+func TestRandomRespectsCapacity(t *testing.T) {
+	env := testEnv(9, 3, 5, 6, 1)
+	for q := range env.Platform.Procs {
+		env.Platform.Procs[q].Capacity = 2
+	}
+	h := MustBuild("RANDOM", env)
+	for i := 0; i < 200; i++ {
+		asg := h.Decide(allUpView(env))
+		for q, x := range asg {
+			if x > 2 {
+				t.Fatalf("RANDOM exceeded capacity on worker %d: %v", q, asg)
+			}
+		}
+	}
+}
+
+func TestProactiveAdoptsFreshWhenNoCurrent(t *testing.T) {
+	env := testEnv(10, 8, 5, 4, 1)
+	passive := MustBuild("IE", env).Decide(allUpView(env))
+	pro := MustBuild("E-IE", env).Decide(allUpView(env))
+	if !pro.Equal(passive) {
+		t.Fatalf("E-IE fresh build %v differs from IE %v", pro, passive)
+	}
+}
+
+// TestProactiveStability is the paper's no-divergence constraint: with a
+// live configuration on a static platform and no better workers arriving,
+// a proactive heuristic must keep the configuration.
+func TestProactiveStability(t *testing.T) {
+	env := testEnv(11, 8, 5, 4, 1)
+	for _, name := range []string{"P-IE", "E-IE", "Y-IE", "E-IAY", "Y-IAY"} {
+		h := MustBuild(name, env)
+		v := allUpView(env)
+		cur := h.Decide(v) // fresh build adopted at slot 0
+		if cur == nil {
+			t.Fatalf("%s found nothing", name)
+		}
+		// Re-offer the exact same situation with progress accrued: the
+		// current configuration must stay.
+		v.Current = cur
+		v.RemainingWork = cur.Workload(env.Platform.Speeds()) - 1
+		v.Elapsed = 3
+		for slot := 0; slot < 10; slot++ {
+			v.Slot = int64(slot)
+			got := h.Decide(v)
+			if !got.Equal(cur) {
+				t.Fatalf("%s slot %d: abandoned a progressing configuration", name, slot)
+			}
+		}
+	}
+}
+
+// TestProactiveSwitchesToBetterWorkers puts the current configuration on
+// terrible workers while excellent ones just became UP: every proactive
+// heuristic should reconfigure onto them.
+func TestProactiveSwitchesToBetterWorkers(t *testing.T) {
+	bad := markov.Matrix{
+		{0.70, 0.10, 0.20},
+		{0.40, 0.40, 0.20},
+		{0.50, 0.25, 0.25},
+	}
+	good := markov.PerState(0.99, 0.9, 0.9)
+	procs := []platform.Processor{
+		{Speed: 10, Capacity: 5, Avail: bad},
+		{Speed: 10, Capacity: 5, Avail: bad},
+		{Speed: 1, Capacity: 5, Avail: good},
+		{Speed: 1, Capacity: 5, Avail: good},
+	}
+	pl := &platform.Platform{Procs: procs, Ncom: 4}
+	env := &Env{
+		Platform: pl,
+		App:      app.Application{Tasks: 2, Tprog: 1, Tdata: 1, Iterations: 1},
+		Analytic: analytic.NewPlatform(pl.Matrices(), analytic.DefaultEps),
+	}
+	v := allUpView(env)
+	v.Current = app.Assignment{1, 1, 0, 0}
+	v.RemainingWork = 10
+	v.Elapsed = 2
+	for _, name := range []string{"P-IE", "E-IE", "Y-IE"} {
+		got := MustBuild(name, env).Decide(v)
+		if got.Equal(v.Current) {
+			t.Fatalf("%s kept the bad configuration", name)
+		}
+		if got[2] == 0 || got[3] == 0 {
+			t.Fatalf("%s switched to %v, want the good workers", name, got)
+		}
+	}
+}
+
+// TestPassiveIgnoresBetterWorkers is the passive/proactive contrast: the
+// same situation must leave a passive heuristic unmoved.
+func TestPassiveIgnoresBetterWorkers(t *testing.T) {
+	env := testEnv(12, 6, 5, 2, 1)
+	v := allUpView(env)
+	v.Current = app.Assignment{1, 1, 0, 0, 0, 0}
+	v.RemainingWork = 20
+	for _, name := range []string{"IP", "IE", "IY", "IAY"} {
+		if got := MustBuild(name, env).Decide(v); !got.Equal(v.Current) {
+			t.Fatalf("%s reconfigured without a failure", name)
+		}
+	}
+}
+
+func TestCommNeedAccounting(t *testing.T) {
+	env := testEnv(13, 4, 2, 3, 2) // Tprog=10, Tdata=2
+	w := WorkerInfo{}
+	if n := commNeedFresh(env, w, 2); n != 10+4 {
+		t.Fatalf("fresh need = %d, want 14", n)
+	}
+	w.HasProgram = true
+	if n := commNeedFresh(env, w, 2); n != 4 {
+		t.Fatalf("need with program = %d, want 4", n)
+	}
+	w.DataHeld = 1
+	if n := commNeedFresh(env, w, 2); n != 2 {
+		t.Fatalf("need with 1 message = %d, want 2", n)
+	}
+	if n := commNeedFresh(env, w, 1); n != 0 {
+		t.Fatalf("need fully held = %d, want 0", n)
+	}
+	// Current-config accounting counts partial progress.
+	w2 := WorkerInfo{ProgProgress: 3, DataProgress: 1}
+	if n := commNeedCurrent(env, w2, 1); n != (10-3)+(2-1) {
+		t.Fatalf("current need = %d, want 8", n)
+	}
+	done := WorkerInfo{HasProgram: true, DataHeld: 2}
+	if n := commNeedCurrent(env, done, 2); n != 0 {
+		t.Fatalf("completed need = %d, want 0", n)
+	}
+}
+
+// TestYieldDependsOnElapsed distinguishes IY from IAY: with time already
+// sunk into the iteration, the yield criterion discounts short remaining
+// work differently from apparent yield. At minimum the two heuristics must
+// be buildable and produce valid assignments at a late elapsed time.
+func TestYieldDependsOnElapsed(t *testing.T) {
+	env := testEnv(14, 8, 5, 4, 2)
+	v := allUpView(env)
+	v.Elapsed = 500
+	caps := make([]int, env.Platform.Size())
+	for q, proc := range env.Platform.Procs {
+		caps[q] = proc.Capacity
+	}
+	for _, name := range []string{"IY", "IAY"} {
+		asg := MustBuild(name, env).Decide(v)
+		if err := asg.Validate(env.App.Tasks, caps); err != nil {
+			t.Fatalf("%s at elapsed=500: %v", name, err)
+		}
+	}
+}
+
+func TestEnvValidatePanics(t *testing.T) {
+	cases := map[string]*Env{
+		"nil platform": {Analytic: &analytic.Platform{}},
+		"bad app": func() *Env {
+			e := testEnv(15, 3, 2, 2, 1)
+			e.App.Tasks = 0
+			return e
+		}(),
+		"analytic mismatch": func() *Env {
+			e := testEnv(16, 3, 2, 2, 1)
+			e.Analytic = analytic.NewPlatform(e.Platform.Matrices()[:2], analytic.DefaultEps)
+			return e
+		}(),
+	}
+	for name, env := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: validate did not panic", name)
+				}
+			}()
+			env.validate()
+		}()
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild with bad name did not panic")
+		}
+	}()
+	MustBuild("BOGUS", testEnv(17, 3, 2, 2, 1))
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+	"tightsched/internal/sched"
+	"tightsched/internal/trace"
+)
+
+// ckptPlatform: two always-present (per script) workers, speed 10, so one
+// task each gives a 10-slot coupled computation.
+func ckptPlatform() (*platform.Platform, app.Application, app.Assignment) {
+	pl := platform.Homogeneous(2, 10, platform.UnboundedCapacity, 2, markov.Uniform(0.95))
+	application := app.Application{Tasks: 2, Tprog: 1, Tdata: 1, Iterations: 1}
+	return pl, application, app.Assignment{1, 1}
+}
+
+// TestCheckpointResumesAfterDown: without checkpointing a mid-computation
+// crash restarts the iteration from scratch; with it, progress resumes
+// from the last checkpoint.
+func TestCheckpointResumesAfterDown(t *testing.T) {
+	pl, application, asg := ckptPlatform()
+	// Comm: slots 0 (prog) and 1 (data), both workers in parallel
+	// (ncom=2). Compute starts at slot 2; P0 crashes at slot 8 after 6
+	// compute slots (2..7), is back at slot 9.
+	script, err := ParseScript([]string{
+		"uuuuuuuuduuuuuuuuuuuuuuuuuuuuu",
+		"uuuuuuuuuuuuuuuuuuuuuuuuuuuuuu",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(ck Checkpoint) Result {
+		rec := &trace.Recorder{}
+		res, err := Run(Config{
+			Platform: pl, App: application,
+			Custom:   &fixedHeuristic{asg: asg},
+			Provider: &ScriptProvider{Script: script},
+			Recorder: rec, Cap: 100, Checkpoint: ck,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(Checkpoint{})
+	// Scratch restart: P0 lost program+data; re-provision at slots 9-10,
+	// compute 10 fresh slots 11..20 -> makespan 21.
+	if plain.Makespan != 21 || plain.Checkpoints != 0 {
+		t.Fatalf("no-checkpoint run: %+v", plain)
+	}
+
+	ck := run(Checkpoint{Every: 2})
+	// Checkpoints at computeDone 2,4,6 (free). Crash after 6 compute
+	// slots -> resume from 6: re-provision slots 9-10, compute slots
+	// 11..14 (4 remaining) -> makespan 15. Checkpoint at 8 also fires
+	// during the final stretch.
+	if ck.Makespan != 15 {
+		t.Fatalf("checkpointed makespan = %d, want 15 (%+v)", ck.Makespan, ck)
+	}
+	if ck.Checkpoints < 3 {
+		t.Fatalf("checkpoints = %d, want >= 3", ck.Checkpoints)
+	}
+	if ck.Makespan >= plain.Makespan {
+		t.Fatal("checkpointing did not help after a crash")
+	}
+}
+
+// TestCheckpointCostSlowsFailureFreeRuns: with no failures, checkpointing
+// is pure overhead of Cost slots per checkpoint.
+func TestCheckpointCostSlowsFailureFreeRuns(t *testing.T) {
+	pl, application, asg := ckptPlatform()
+	script, err := ParseScript([]string{
+		"uuuuuuuuuuuuuuuuuuuuuuuuuuuuuu",
+		"uuuuuuuuuuuuuuuuuuuuuuuuuuuuuu",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ck Checkpoint) Result {
+		res, err := Run(Config{
+			Platform: pl, App: application,
+			Custom:   &fixedHeuristic{asg: asg},
+			Provider: &ScriptProvider{Script: script},
+			Cap:      100, Checkpoint: ck,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(Checkpoint{})
+	if plain.Makespan != 12 { // 2 comm + 10 compute
+		t.Fatalf("baseline makespan = %d, want 12", plain.Makespan)
+	}
+	costly := run(Checkpoint{Every: 3, Cost: 2})
+	// Checkpoints fire at computeDone 3, 6, 9 -> 3 checkpoints × 2 slots
+	// of overhead each = +6.
+	if costly.Makespan != 18 {
+		t.Fatalf("costly makespan = %d, want 18 (%+v)", costly.Makespan, costly)
+	}
+	if costly.Checkpoints != 3 {
+		t.Fatalf("checkpoints = %d, want 3", costly.Checkpoints)
+	}
+}
+
+// TestCheckpointRescalesAcrossConfigurations: progress saved under one
+// configuration carries to a different one, rescaled by workload.
+func TestCheckpointRescalesAcrossConfigurations(t *testing.T) {
+	// P0 speed 10, P1 speed 20: config A = task on P0+P1 (W = 20);
+	// config B after the crash = both tasks on P1... P1 speed 20 ->
+	// W = 40. Saved fraction 10/20 = 0.5 -> resume at 20.
+	pl := &platform.Platform{
+		Procs: []platform.Processor{
+			{Speed: 10, Capacity: 4, Avail: markov.Uniform(0.95)},
+			{Speed: 20, Capacity: 4, Avail: markov.Uniform(0.95)},
+		},
+		Ncom: 2,
+	}
+	application := app.Application{Tasks: 2, Tprog: 1, Tdata: 1, Iterations: 1}
+	// P0 crashes at slot 12 (after 10 compute slots in 2..11), never
+	// returns; the switcher falls back to P1 alone.
+	script, err := ParseScript([]string{
+		"uuuuuuuuuuuuddddddddddddddddddddddddddddddddddddddddddddddddd",
+		"uuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuu",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fallbackHeuristic{
+		preferred: app.Assignment{1, 1},
+		fallback:  app.Assignment{0, 2},
+	}
+	res, err := Run(Config{
+		Platform: pl, App: application, Custom: h,
+		Provider: &ScriptProvider{Script: script},
+		Cap:      200, Checkpoint: Checkpoint{Every: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Config A: comm slots 0-1, compute slots 2-11 (10 of W=20;
+	// checkpoints at 5 and 10). Crash at slot 12: resume fraction
+	// 10/20 under config B (W=40) -> 20 slots done. P1 needs one more
+	// data message (slot 12... P1 kept 1 message, needs 2 for x=2):
+	// comm slot 12, then 20 remaining compute slots: 13..32 ->
+	// makespan 33.
+	if res.Failed || res.Completed != 1 {
+		t.Fatalf("run failed: %+v", res)
+	}
+	if res.Makespan != 33 {
+		t.Fatalf("makespan = %d, want 33 (%+v)", res.Makespan, res)
+	}
+}
+
+// fallbackHeuristic uses the preferred assignment while its workers are
+// UP and otherwise the fallback.
+type fallbackHeuristic struct {
+	preferred, fallback app.Assignment
+}
+
+func (f *fallbackHeuristic) Name() string { return "FALLBACK" }
+
+func (f *fallbackHeuristic) Decide(v *sched.View) app.Assignment {
+	if v.Current != nil {
+		return v.Current
+	}
+	ok := true
+	for q, x := range f.preferred {
+		if x > 0 && v.States[q] != markov.Up {
+			ok = false
+		}
+	}
+	if ok {
+		return f.preferred
+	}
+	for q, x := range f.fallback {
+		if x > 0 && v.States[q] != markov.Up {
+			return nil
+		}
+	}
+	return f.fallback
+}
+
+// TestCheckpointValidation rejects negative configuration.
+func TestCheckpointValidation(t *testing.T) {
+	pl, application, _ := ckptPlatform()
+	if _, err := Run(Config{
+		Platform: pl, App: application, Heuristic: "IE",
+		Checkpoint: Checkpoint{Every: -1},
+	}); err == nil {
+		t.Fatal("negative checkpoint period accepted")
+	}
+}

@@ -1,0 +1,479 @@
+package sim
+
+import (
+	"fmt"
+
+	"tightsched/internal/analytic"
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+	"tightsched/internal/rng"
+	"tightsched/internal/sched"
+	"tightsched/internal/trace"
+)
+
+// DefaultCap is the paper's makespan limit: a run that has not completed
+// its iterations within this many slots is declared failed.
+const DefaultCap = 1_000_000
+
+// DefaultEps is the engine's default analytic precision. Heuristics rank
+// configurations; they do not need the full reference precision of
+// analytic.DefaultEps, and the series horizon scales with log(1/eps).
+const DefaultEps = 1e-6
+
+// Config describes one simulation run.
+type Config struct {
+	Platform *platform.Platform
+	App      app.Application
+	// Heuristic is one of sched.Names(). Ignored when Custom is set.
+	Heuristic string
+	// Custom, when non-nil, is used instead of building Heuristic by
+	// name. It lets callers plug in their own scheduling policies.
+	Custom sched.Heuristic
+	// Seed determines the availability realization and any randomized
+	// heuristic decisions. Two runs with the same seed and different
+	// heuristics see identical availability (availability is independent
+	// of scheduling).
+	Seed uint64
+	// Cap is the failure limit in slots (DefaultCap when 0).
+	Cap int64
+	// InitialAllUp starts every processor UP instead of drawing initial
+	// states from the stationary distribution.
+	InitialAllUp bool
+	// Provider overrides the Markov availability sampler (scripted runs).
+	Provider StateProvider
+	// Recorder, when non-nil, records a per-slot trace.
+	Recorder *trace.Recorder
+	// Eps is the analytic series precision (analytic.DefaultEps when 0).
+	Eps float64
+	// RenewalE switches the heuristics' expected-completion-time metric
+	// to the renewal form (see sched.Env.RenewalE). The default (false)
+	// uses the formula as printed in the paper, reproducing its
+	// published rankings.
+	RenewalE bool
+	// Checkpoint enables the checkpointing extension (not in the paper's
+	// model; see the Checkpoint type). The zero value disables it.
+	Checkpoint Checkpoint
+}
+
+// Checkpoint configures the engine's checkpointing extension, an ablation
+// of the paper's restart-from-scratch rule: every Every coupled compute
+// slots, the master synchronously saves the iteration's global state,
+// paying Cost additional all-UP slots per checkpoint. When an enrolled
+// worker goes DOWN (or the configuration changes), the iteration resumes
+// from the last checkpointed fraction of progress instead of from
+// scratch — the saved state lives at the master, so it survives any
+// reconfiguration, with progress rescaled to the new configuration's
+// workload. Communication retention is unchanged: a replacement worker
+// still needs the program and its task data.
+type Checkpoint struct {
+	// Every is the checkpoint period in compute slots (0 disables).
+	Every int
+	// Cost is the number of extra all-UP slots each checkpoint takes.
+	Cost int
+}
+
+// Result summarizes one run.
+type Result struct {
+	Heuristic string
+	// Completed is the number of iterations finished before the cap.
+	Completed int
+	// Makespan is the number of slots used to complete all iterations;
+	// equal to the cap when Failed.
+	Makespan int64
+	// Failed reports that the run hit the cap before completing.
+	Failed bool
+	// Reconfigs counts configuration adoptions that replaced a different
+	// live configuration (proactive switches).
+	Reconfigs int64
+	// Restarts counts iteration restarts forced by an enrolled worker
+	// going DOWN.
+	Restarts int64
+	// IdleSlots counts slots with no feasible configuration.
+	IdleSlots int64
+	// CommSlots counts worker-slots spent receiving program or data.
+	CommSlots int64
+	// ComputeSlots counts slots in which the coupled computation advanced.
+	ComputeSlots int64
+	// Checkpoints counts committed checkpoints (checkpointing extension).
+	Checkpoints int64
+}
+
+// engine holds the mutable ground-truth state of a run.
+type engine struct {
+	cfg    Config
+	env    *sched.Env
+	h      sched.Heuristic
+	prov   StateProvider
+	cap    int64
+	speeds []int
+
+	states  []markov.State
+	workers []sched.WorkerInfo
+	acts    []trace.Activity
+
+	current     app.Assignment
+	enrolled    []int
+	workload    int
+	computeDone int
+	iterStart   int64
+	retEpoch    int64
+
+	// Checkpointing extension state: last committed progress (in the
+	// scale of the workload it was taken under) and the all-UP slots
+	// still owed for an in-progress checkpoint.
+	ckptDone    int
+	ckptW       int
+	ckptPending int
+
+	res Result
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (Result, error) {
+	if cfg.Platform == nil {
+		return Result{}, fmt.Errorf("sim: nil platform")
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.App.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Platform.TotalCapacity() < cfg.App.Tasks {
+		return Result{}, fmt.Errorf("sim: platform capacity %d below %d tasks",
+			cfg.Platform.TotalCapacity(), cfg.App.Tasks)
+	}
+	eps := cfg.Eps
+	if eps == 0 {
+		eps = DefaultEps
+	}
+	env := &sched.Env{
+		Platform: cfg.Platform,
+		App:      cfg.App,
+		Analytic: analytic.NewPlatform(cfg.Platform.Matrices(), eps),
+		Rand:     rng.NewKeyed(cfg.Seed, 0x7a4d),
+		RenewalE: cfg.RenewalE,
+	}
+	h := cfg.Custom
+	if h == nil {
+		var err error
+		h, err = sched.Build(cfg.Heuristic, env)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	prov := cfg.Provider
+	if prov == nil {
+		prov = newMarkovProvider(cfg.Platform, cfg.Seed, cfg.InitialAllUp)
+	}
+	capSlots := cfg.Cap
+	if capSlots == 0 {
+		capSlots = DefaultCap
+	}
+	if capSlots < 0 {
+		return Result{}, fmt.Errorf("sim: negative cap %d", capSlots)
+	}
+	if cfg.Checkpoint.Every < 0 || cfg.Checkpoint.Cost < 0 {
+		return Result{}, fmt.Errorf("sim: invalid checkpoint config %+v", cfg.Checkpoint)
+	}
+
+	p := cfg.Platform.Size()
+	e := &engine{
+		cfg:     cfg,
+		env:     env,
+		h:       h,
+		prov:    prov,
+		cap:     capSlots,
+		speeds:  cfg.Platform.Speeds(),
+		states:  make([]markov.State, p),
+		workers: make([]sched.WorkerInfo, p),
+		acts:    make([]trace.Activity, p),
+		res:     Result{Heuristic: h.Name()},
+	}
+	return e.run()
+}
+
+func (e *engine) run() (Result, error) {
+	for slot := int64(0); slot < e.cap; slot++ {
+		e.prov.States(slot, e.states)
+		event := e.handleDowns()
+
+		if err := e.decide(slot); err != nil {
+			return e.res, err
+		}
+
+		e.execute(slot, &event)
+		e.cfg.Recorder.Record(slot, e.states, e.acts, event)
+
+		if e.res.Completed == e.cfg.App.Iterations {
+			e.res.Makespan = slot + 1
+			return e.res, nil
+		}
+	}
+	e.res.Failed = true
+	e.res.Makespan = e.cap
+	return e.res, nil
+}
+
+// handleDowns applies the DOWN semantics of Section III.B: a DOWN worker
+// loses the program, its data and any partial communication; if it was
+// enrolled, the iteration restarts from scratch.
+func (e *engine) handleDowns() string {
+	event := ""
+	broke := false
+	for q, s := range e.states {
+		if s != markov.Down {
+			continue
+		}
+		w := &e.workers[q]
+		if w.HasProgram || w.DataHeld > 0 || w.ProgProgress > 0 || w.DataProgress > 0 {
+			*w = sched.WorkerInfo{}
+			e.retEpoch++
+		}
+		if e.current != nil && e.current[q] > 0 {
+			broke = true
+			if event == "" {
+				event = fmt.Sprintf("restart: P%d DOWN", q+1)
+			}
+		}
+	}
+	if broke {
+		e.res.Restarts++
+		e.dropConfiguration()
+	}
+	return event
+}
+
+// dropConfiguration abandons the current configuration: all enrolled
+// workers are "removed", so their in-flight message progress is lost
+// (complete messages and the program are kept unless DOWN took them).
+func (e *engine) dropConfiguration() {
+	for _, q := range e.enrolled {
+		e.workers[q].ProgProgress = 0
+		e.workers[q].DataProgress = 0
+	}
+	e.current = nil
+	e.enrolled = nil
+	e.workload = 0
+	e.computeDone = 0
+}
+
+// decide asks the heuristic for this slot's configuration and adopts it.
+func (e *engine) decide(slot int64) error {
+	v := &sched.View{
+		Slot:           slot,
+		States:         e.states,
+		Workers:        e.workers,
+		Current:        e.current,
+		RemainingWork:  e.workload - e.computeDone,
+		Elapsed:        slot - e.iterStart,
+		RetentionEpoch: e.retEpoch,
+	}
+	next := e.h.Decide(v)
+	if next == nil {
+		if e.current != nil {
+			e.res.Reconfigs++
+			e.dropConfiguration()
+		}
+		return nil
+	}
+	if e.current != nil && next.Equal(e.current) {
+		return nil
+	}
+	// Adopting a new configuration: validate it, then apply the removal
+	// semantics to workers that dropped out.
+	if err := e.validateNew(next); err != nil {
+		return fmt.Errorf("sim: heuristic %s slot %d: %w", e.h.Name(), slot, err)
+	}
+	if e.current != nil {
+		e.res.Reconfigs++
+		for _, q := range e.enrolled {
+			if next[q] == 0 {
+				e.workers[q].ProgProgress = 0
+				e.workers[q].DataProgress = 0
+			}
+		}
+	}
+	e.current = next.Clone()
+	e.enrolled = e.current.Enrolled()
+	e.workload = e.current.Workload(e.speeds)
+	e.computeDone = e.resumePoint()
+	e.ckptPending = 0 // an unfinished checkpoint is abandoned
+	// Zero-cost communication items complete instantly.
+	for _, q := range e.enrolled {
+		w := &e.workers[q]
+		if e.cfg.App.Tprog == 0 {
+			w.HasProgram = true
+		}
+		if e.cfg.App.Tdata == 0 && w.DataHeld < e.current[q] {
+			w.DataHeld = e.current[q]
+		}
+	}
+	return nil
+}
+
+// validateNew enforces the model's enrollment rules on a configuration
+// returned by a heuristic: exactly m tasks, capacities respected, and all
+// enrolled workers UP at adoption time.
+func (e *engine) validateNew(asg app.Assignment) error {
+	caps := make([]int, e.cfg.Platform.Size())
+	for q, proc := range e.cfg.Platform.Procs {
+		caps[q] = proc.Capacity
+	}
+	if err := asg.Validate(e.cfg.App.Tasks, caps); err != nil {
+		return err
+	}
+	for q, x := range asg {
+		if x > 0 && e.states[q] != markov.Up {
+			return fmt.Errorf("enrolled processor %d is %v", q, e.states[q])
+		}
+	}
+	return nil
+}
+
+// execute advances the configuration by one slot: the communication phase
+// under the bounded multi-port constraint, or one coupled compute slot
+// when every enrolled worker is UP.
+func (e *engine) execute(slot int64, event *string) {
+	for q := range e.acts {
+		e.acts[q] = trace.NotEnrolled
+	}
+	if e.current == nil {
+		e.res.IdleSlots++
+		return
+	}
+	for _, q := range e.enrolled {
+		e.acts[q] = trace.Idle
+	}
+
+	if e.commOutstanding() {
+		e.communicate()
+		return
+	}
+
+	// Computation phase: all enrolled workers must be UP simultaneously.
+	for _, q := range e.enrolled {
+		if e.states[q] != markov.Up {
+			return // suspended; activities stay Idle
+		}
+	}
+	for _, q := range e.enrolled {
+		e.acts[q] = trace.Compute
+	}
+	// An in-progress checkpoint consumes this all-UP slot without
+	// advancing the computation (checkpointing extension).
+	if e.ckptPending > 0 {
+		e.ckptPending--
+		if e.ckptPending == 0 {
+			e.commitCheckpoint()
+		}
+		return
+	}
+	e.computeDone++
+	e.res.ComputeSlots++
+	if e.computeDone >= e.workload {
+		e.finishIteration(slot, event)
+		return
+	}
+	if every := e.cfg.Checkpoint.Every; every > 0 && e.computeDone%every == 0 {
+		if e.cfg.Checkpoint.Cost == 0 {
+			e.commitCheckpoint()
+		} else {
+			e.ckptPending = e.cfg.Checkpoint.Cost
+		}
+	}
+}
+
+// commitCheckpoint records the iteration's global progress at the master.
+func (e *engine) commitCheckpoint() {
+	e.ckptDone = e.computeDone
+	e.ckptW = e.workload
+	e.res.Checkpoints++
+}
+
+// resumePoint converts the last committed checkpoint into compute slots
+// under the current workload scale (0 when checkpointing is off or no
+// checkpoint exists for this iteration).
+func (e *engine) resumePoint() int {
+	if e.ckptW == 0 || e.workload == 0 {
+		return 0
+	}
+	resumed := e.ckptDone * e.workload / e.ckptW
+	if resumed >= e.workload {
+		resumed = e.workload - 1
+	}
+	return resumed
+}
+
+// commOutstanding reports whether any enrolled worker still needs master
+// communication for the current configuration.
+func (e *engine) commOutstanding() bool {
+	for _, q := range e.enrolled {
+		w := e.workers[q]
+		if !w.HasProgram || w.DataHeld < e.current[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// communicate allocates up to Ncom communication slots to UP enrolled
+// workers that still need the program or data, in increasing processor
+// order (deterministic tie-breaking; the paper does not prescribe one).
+// RECLAIMED workers' transfers are suspended and consume no bandwidth.
+func (e *engine) communicate() {
+	budget := e.cfg.Platform.Ncom
+	for _, q := range e.enrolled {
+		if budget == 0 {
+			break
+		}
+		if e.states[q] != markov.Up {
+			continue
+		}
+		w := &e.workers[q]
+		switch {
+		case !w.HasProgram:
+			w.ProgProgress++
+			e.acts[q] = trace.Program
+			if w.ProgProgress >= e.cfg.App.Tprog {
+				w.HasProgram = true
+				w.ProgProgress = 0
+				e.retEpoch++
+			}
+		case w.DataHeld < e.current[q]:
+			w.DataProgress++
+			e.acts[q] = trace.Data
+			if w.DataProgress >= e.cfg.App.Tdata {
+				w.DataHeld++
+				w.DataProgress = 0
+				e.retEpoch++
+			}
+		default:
+			continue // fully provisioned; no bandwidth used
+		}
+		budget--
+		e.res.CommSlots++
+	}
+}
+
+// finishIteration applies the global synchronization: per-iteration data
+// is discarded everywhere, the configuration is cleared, and the next
+// iteration (if any) starts at the following slot.
+func (e *engine) finishIteration(slot int64, event *string) {
+	e.res.Completed++
+	*event = fmt.Sprintf("iteration %d complete", e.res.Completed)
+	for q := range e.workers {
+		e.workers[q].DataHeld = 0
+		e.workers[q].DataProgress = 0
+	}
+	e.current = nil
+	e.enrolled = nil
+	e.workload = 0
+	e.computeDone = 0
+	e.ckptDone = 0
+	e.ckptW = 0
+	e.ckptPending = 0
+	e.retEpoch++
+	e.iterStart = slot + 1
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"testing"
+
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+	"tightsched/internal/rng"
+	"tightsched/internal/sched"
+	"tightsched/internal/trace"
+)
+
+// testPlatform draws a small paper-style platform.
+func testPlatform(seed uint64, p, ncom, wmin int) *platform.Platform {
+	cfg := platform.PaperConfig{P: p, Wmin: wmin, Ncom: ncom, StayLo: 0.90, StayHi: 0.99}
+	return platform.GeneratePaper(cfg, rng.New(seed))
+}
+
+func testApp(m, wmin int) app.Application {
+	return app.Application{Tasks: m, Tprog: 5 * wmin, Tdata: wmin, Iterations: 3}
+}
+
+func TestRunAllHeuristicsComplete(t *testing.T) {
+	pl := testPlatform(1, 10, 5, 1)
+	application := testApp(3, 1)
+	for _, name := range sched.Names() {
+		res, err := Run(Config{
+			Platform:  pl,
+			App:       application,
+			Heuristic: name,
+			Seed:      42,
+			Cap:       200000,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Failed {
+			t.Fatalf("%s failed to complete: %+v", name, res)
+		}
+		if res.Completed != application.Iterations {
+			t.Fatalf("%s completed %d iterations, want %d", name, res.Completed, application.Iterations)
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("%s nonpositive makespan: %+v", name, res)
+		}
+		if res.Heuristic != name {
+			t.Fatalf("result heuristic %q, want %q", res.Heuristic, name)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	pl := testPlatform(2, 8, 5, 2)
+	application := testApp(4, 2)
+	for _, name := range []string{"IE", "Y-IE", "RANDOM", "E-IAY"} {
+		a, err := Run(Config{Platform: pl, App: application, Heuristic: name, Seed: 7, Cap: 200000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Config{Platform: pl, App: application, Heuristic: name, Seed: 7, Cap: 200000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%s not deterministic: %+v vs %+v", name, a, b)
+		}
+	}
+}
+
+func TestSeedChangesRealization(t *testing.T) {
+	pl := testPlatform(3, 8, 5, 1)
+	application := testApp(3, 1)
+	a, _ := Run(Config{Platform: pl, App: application, Heuristic: "IE", Seed: 1, Cap: 200000})
+	b, _ := Run(Config{Platform: pl, App: application, Heuristic: "IE", Seed: 2, Cap: 200000})
+	if a.Makespan == b.Makespan && a.CommSlots == b.CommSlots && a.ComputeSlots == b.ComputeSlots {
+		t.Fatalf("different seeds produced identical runs: %+v", a)
+	}
+}
+
+// TestAvailabilityIndependentOfHeuristic verifies the comparability
+// guarantee of the harness: the availability realization depends only on
+// the seed, not on scheduling decisions.
+func TestAvailabilityIndependentOfHeuristic(t *testing.T) {
+	pl := testPlatform(4, 6, 5, 1)
+	application := testApp(3, 1)
+	var recs [2]*trace.Recorder
+	for i, name := range []string{"IE", "RANDOM"} {
+		recs[i] = &trace.Recorder{}
+		if _, err := Run(Config{
+			Platform: pl, App: application, Heuristic: name,
+			Seed: 99, Cap: 5000, Recorder: recs[i],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := recs[0].Len()
+	if recs[1].Len() < n {
+		n = recs[1].Len()
+	}
+	for s := 0; s < n; s++ {
+		for q := range recs[0].Steps[s].States {
+			if recs[0].Steps[s].States[q] != recs[1].Steps[s].States[q] {
+				t.Fatalf("slot %d proc %d: states diverge between heuristics", s, q)
+			}
+		}
+	}
+}
+
+// TestModelInvariants replays recorded traces and checks the execution
+// rules of Section III: the bounded multi-port constraint, no overlap of
+// communication and computation, computation only with every enrolled
+// worker UP, and no activity on DOWN processors.
+func TestModelInvariants(t *testing.T) {
+	pl := testPlatform(5, 10, 2, 1) // tight ncom to stress the allocator
+	application := testApp(5, 1)
+	for _, name := range []string{"IE", "IP", "IY", "IAY", "Y-IE", "E-IAY", "P-IP", "RANDOM"} {
+		rec := &trace.Recorder{}
+		if _, err := Run(Config{
+			Platform: pl, App: application, Heuristic: name,
+			Seed: 11, Cap: 50000, Recorder: rec,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, step := range rec.Steps {
+			comm, compute := 0, 0
+			for q, act := range step.Activities {
+				switch act {
+				case trace.Program, trace.Data:
+					comm++
+					if step.States[q] != markov.Up {
+						t.Fatalf("%s slot %d: proc %d communicates while %v",
+							name, step.Slot, q, step.States[q])
+					}
+				case trace.Compute:
+					compute++
+					if step.States[q] != markov.Up {
+						t.Fatalf("%s slot %d: proc %d computes while %v",
+							name, step.Slot, q, step.States[q])
+					}
+				}
+				if step.States[q] == markov.Down && act != trace.NotEnrolled && act != trace.Idle {
+					t.Fatalf("%s slot %d: DOWN proc %d has activity %v", name, step.Slot, q, act)
+				}
+			}
+			if comm > pl.Ncom {
+				t.Fatalf("%s slot %d: %d simultaneous communications exceed ncom=%d",
+					name, step.Slot, comm, pl.Ncom)
+			}
+			if comm > 0 && compute > 0 {
+				t.Fatalf("%s slot %d: communication and computation overlap", name, step.Slot)
+			}
+		}
+	}
+}
+
+// TestRandomIsMuchWorse reproduces the paper's headline sanity check:
+// RANDOM is drastically worse than IE on data-intensive instances.
+func TestRandomIsMuchWorse(t *testing.T) {
+	var ieTotal, randTotal int64
+	for seed := uint64(0); seed < 5; seed++ {
+		pl := testPlatform(100+seed, 20, 5, 3)
+		application := app.Application{Tasks: 5, Tprog: 15, Tdata: 3, Iterations: 5}
+		ie, err := Run(Config{Platform: pl, App: application, Heuristic: "IE", Seed: seed, Cap: 500000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := Run(Config{Platform: pl, App: application, Heuristic: "RANDOM", Seed: seed, Cap: 500000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ieTotal += ie.Makespan
+		randTotal += rd.Makespan
+	}
+	if randTotal < 2*ieTotal {
+		t.Fatalf("RANDOM (%d) not clearly worse than IE (%d) in aggregate", randTotal, ieTotal)
+	}
+}
+
+func TestRunFailsAtCap(t *testing.T) {
+	// One slow unreliable processor and a heavy workload: with a tiny cap
+	// the run must fail and report the cap as makespan.
+	pl := testPlatform(6, 3, 5, 10)
+	application := app.Application{Tasks: 3, Tprog: 50, Tdata: 10, Iterations: 10}
+	res, err := Run(Config{Platform: pl, App: application, Heuristic: "IE", Seed: 1, Cap: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Makespan != 30 {
+		t.Fatalf("expected capped failure, got %+v", res)
+	}
+	if res.Completed >= application.Iterations {
+		t.Fatalf("failed run completed everything: %+v", res)
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	pl := testPlatform(7, 3, 5, 1)
+	application := testApp(2, 1)
+	cases := []Config{
+		{App: application, Heuristic: "IE"},                                        // nil platform
+		{Platform: pl, App: app.Application{}, Heuristic: "IE"},                    // invalid app
+		{Platform: pl, App: application, Heuristic: "NOPE"},                        // unknown heuristic
+		{Platform: pl, App: application, Heuristic: "IE", Cap: -1},                 // bad cap
+		{Platform: &platform.Platform{Ncom: 1}, App: application, Heuristic: "IE"}, // invalid platform
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	// Capacity below m.
+	small := platform.Homogeneous(1, 1, 1, 1, markov.Uniform(0.95))
+	if _, err := Run(Config{Platform: small, App: testApp(2, 1), Heuristic: "IE"}); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}
+
+func TestInitialAllUp(t *testing.T) {
+	pl := testPlatform(8, 5, 5, 1)
+	application := testApp(2, 1)
+	rec := &trace.Recorder{}
+	if _, err := Run(Config{
+		Platform: pl, App: application, Heuristic: "IE",
+		Seed: 3, Cap: 10000, InitialAllUp: true, Recorder: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for q, s := range rec.Steps[0].States {
+		if s != markov.Up {
+			t.Fatalf("InitialAllUp: proc %d starts %v", q, s)
+		}
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	if _, err := ParseScript(nil); err == nil {
+		t.Fatal("empty script accepted")
+	}
+	if _, err := ParseScript([]string{"uu", "u"}); err == nil {
+		t.Fatal("ragged script accepted")
+	}
+	if _, err := ParseScript([]string{"ux"}); err == nil {
+		t.Fatal("unknown state accepted")
+	}
+}
+
+func TestScriptProviderExtendsLastRow(t *testing.T) {
+	rows, err := ParseScript([]string{"ud"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &ScriptProvider{Script: rows}
+	dst := make([]markov.State, 1)
+	sp.States(5, dst) // beyond the script: last row repeats
+	if dst[0] != markov.Down {
+		t.Fatalf("expected last row to repeat, got %v", dst[0])
+	}
+}
+
+// TestCustomHeuristicValidation ensures the engine rejects malformed
+// assignments from custom heuristics instead of corrupting the run.
+func TestCustomHeuristicValidation(t *testing.T) {
+	pl := platform.Homogeneous(3, 1, 1, 1, markov.AlwaysUp())
+	application := app.Application{Tasks: 2, Iterations: 1}
+	bad := &fixedHeuristic{asg: app.Assignment{2, 0, 0}} // exceeds capacity 1
+	if _, err := Run(Config{Platform: pl, App: application, Custom: bad, Cap: 10}); err == nil {
+		t.Fatal("expected validation error for over-capacity assignment")
+	}
+}
+
+// TestReliablePlatformMakespan checks the engine's accounting on a fully
+// deterministic platform: p identical always-UP workers, so the makespan
+// is exactly iterations × (comm phase + compute phase).
+func TestReliablePlatformMakespan(t *testing.T) {
+	pl := platform.Homogeneous(4, 2, platform.UnboundedCapacity, 2, markov.AlwaysUp())
+	application := app.Application{Tasks: 4, Tprog: 2, Tdata: 1, Iterations: 3}
+	res, err := Run(Config{Platform: pl, App: application, Heuristic: "IE", Seed: 1, Cap: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("failed on reliable platform: %+v", res)
+	}
+	// IE on identical always-UP workers spreads 4 tasks over 4 workers
+	// (adding a second task to a busy worker doubles E while enrolling an
+	// idle one does not). Each worker needs 3 comm slots; 12 units over 2
+	// channels = 6 slots; W = 2. First iteration: 8 slots. Later
+	// iterations skip the program download: 4 units over 2 channels = 2
+	// slots + 2 compute = 4 slots. Total = 8 + 4 + 4 = 16.
+	if res.Makespan != 16 {
+		t.Fatalf("makespan = %d, want 16 (%+v)", res.Makespan, res)
+	}
+	if res.Restarts != 0 || res.IdleSlots != 0 {
+		t.Fatalf("unexpected restarts/idle on reliable platform: %+v", res)
+	}
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"tightsched/internal/app"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+	"tightsched/internal/sched"
+	"tightsched/internal/trace"
+)
+
+// fixedHeuristic enrolls a fixed assignment whenever asked for a new
+// configuration and all its workers are UP; otherwise it waits.
+type fixedHeuristic struct {
+	asg app.Assignment
+}
+
+func (f *fixedHeuristic) Name() string { return "FIXED" }
+
+func (f *fixedHeuristic) Decide(v *sched.View) app.Assignment {
+	if v.Current != nil {
+		return v.Current
+	}
+	for q, x := range f.asg {
+		if x > 0 && v.States[q] != markov.Up {
+			return nil
+		}
+	}
+	return f.asg
+}
+
+// figure1Platform is the paper's Figure 1 setting: 5 processors with
+// w_i = i, ncom = 2, Tprog = 2, Tdata = 1, m = 5 tasks; the schedule
+// assigns two tasks to P2 and P3 and one to P4, for a workload of
+// max(2·2, 2·3, 1·4) = 6 coupled compute slots.
+func figure1Platform() (*platform.Platform, app.Application, app.Assignment) {
+	procs := make([]platform.Processor, 5)
+	for i := range procs {
+		procs[i] = platform.Processor{
+			Speed:    i + 1,
+			Capacity: platform.UnboundedCapacity,
+			Avail:    markov.Uniform(0.95), // unused under a scripted provider
+		}
+	}
+	pl := &platform.Platform{Procs: procs, Ncom: 2}
+	application := app.Application{Tasks: 5, Tprog: 2, Tdata: 1, Iterations: 1}
+	return pl, application, app.Assignment{0, 2, 2, 1, 0}
+}
+
+// TestFigure1Execution replays a Figure 1-style scenario slot by slot and
+// checks the engine against a hand computation:
+//
+//	needs: P2 = 2 prog + 2 data = 4, P3 = 4, P4 = 2 prog + 1 data = 3
+//	(11 communication slot-units over ncom = 2 channels);
+//	P3 reclaimed during slots 2-3, P2 during 9-10, P3 again at 11.
+//
+// Hand schedule (serving UP needy workers in processor order):
+//
+//	slot 0: P2.prog P3.prog      slot 6:  compute (1/6)
+//	slot 1: P2.prog P3.prog      slot 7:  compute (2/6)
+//	slot 2: P2.data P4.prog      slot 8:  compute (3/6)
+//	slot 3: P2.data P4.prog      slot 9:  suspended (P2 reclaimed)
+//	slot 4: P3.data P4.data      slot 10: suspended (P2 reclaimed)
+//	slot 5: P3.data              slot 11: suspended (P3 reclaimed)
+//	                             slots 12-14: compute (6/6)
+//
+// so one iteration completes with makespan 15, 11 communication
+// worker-slots and 6 compute slots.
+func TestFigure1Execution(t *testing.T) {
+	pl, application, asg := figure1Platform()
+	script, err := ParseScript([]string{
+		"ddddddddddddddd",
+		"uuuuuuuuurruuuu",
+		"uurruuuuuuuruuu",
+		"uuuuuuuuuuuuuuu",
+		"ddddddddddddddd",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	res, err := Run(Config{
+		Platform: pl,
+		App:      application,
+		Custom:   &fixedHeuristic{asg: asg},
+		Provider: &ScriptProvider{Script: script},
+		Recorder: rec,
+		Cap:      100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.Completed != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Makespan != 15 {
+		t.Fatalf("makespan = %d, want 15\n%s", res.Makespan, rec.Render())
+	}
+	if res.CommSlots != 11 {
+		t.Fatalf("comm slots = %d, want 11\n%s", res.CommSlots, rec.Render())
+	}
+	if res.ComputeSlots != 6 {
+		t.Fatalf("compute slots = %d, want 6\n%s", res.ComputeSlots, rec.Render())
+	}
+	if res.Restarts != 0 || res.Reconfigs != 0 {
+		t.Fatalf("unexpected restarts/reconfigs: %+v", res)
+	}
+
+	// Spot-check recorded activities against the hand schedule.
+	wantActs := map[int64][5]trace.Activity{
+		0:  {trace.NotEnrolled, trace.Program, trace.Program, trace.Idle, trace.NotEnrolled},
+		2:  {trace.NotEnrolled, trace.Data, trace.Idle, trace.Program, trace.NotEnrolled},
+		4:  {trace.NotEnrolled, trace.Idle, trace.Data, trace.Data, trace.NotEnrolled},
+		5:  {trace.NotEnrolled, trace.Idle, trace.Data, trace.Idle, trace.NotEnrolled},
+		6:  {trace.NotEnrolled, trace.Compute, trace.Compute, trace.Compute, trace.NotEnrolled},
+		9:  {trace.NotEnrolled, trace.Idle, trace.Idle, trace.Idle, trace.NotEnrolled},
+		14: {trace.NotEnrolled, trace.Compute, trace.Compute, trace.Compute, trace.NotEnrolled},
+	}
+	for slot, want := range wantActs {
+		got := rec.Steps[slot].Activities
+		for q := range want {
+			if got[q] != want[q] {
+				t.Fatalf("slot %d proc %d activity = %v, want %v\n%s",
+					slot, q+1, got[q], want[q], rec.Render())
+			}
+		}
+	}
+
+	// The render should carry the completion event.
+	if out := rec.Render(); !strings.Contains(out, "iteration 1 complete") {
+		t.Fatalf("render missing completion event:\n%s", out)
+	}
+}
+
+// TestFigure1DownRestart injects a DOWN at the point the paper discusses
+// ("if a processor had become DOWN, say, at time 14, all the computation
+// would have been lost"): P3 goes DOWN after 3 compute slots. The
+// iteration must restart from scratch — P3 re-downloads program and data,
+// P2/P4 keep program and data — and still complete.
+func TestFigure1DownRestart(t *testing.T) {
+	pl, application, asg := figure1Platform()
+	// Same prefix as the main scenario through slot 8 (3 compute slots
+	// done), then P3 DOWN at slot 9, back UP at slot 10 onward.
+	script, err := ParseScript([]string{
+		"dddddddddddddddddddddddd",
+		"uuuuuuuuuuuuuuuuuuuuuuuu",
+		"uuuuuuuuuduuuuuuuuuuuuuu",
+		"uuuuuuuuuuuuuuuuuuuuuuuu",
+		"dddddddddddddddddddddddd",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	res, err := Run(Config{
+		Platform: pl,
+		App:      application,
+		Custom:   &fixedHeuristic{asg: asg},
+		Provider: &ScriptProvider{Script: script},
+		Recorder: rec,
+		Cap:      100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation: with all workers UP the processor-order master
+	// serves P2 and P3 first, so P4 only starts at slot 4 and the
+	// communication phase spans slots 0-6 (11 units, slots 4-6 use one
+	// channel). Compute runs slots 7-8 (2 of 6 slots). Slot 9: P3 DOWN ->
+	// restart; P3 lost program+data, P2/P4 keep theirs. The fixed
+	// heuristic re-enrolls at slot 10 (P3 UP again); P3 needs 2+2 = 4
+	// comm slots (10-13), then 6 fresh compute slots: 14-19. Makespan 20.
+	if res.Failed || res.Completed != 1 {
+		t.Fatalf("result: %+v\n%s", res, rec.Render())
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1\n%s", res.Restarts, rec.Render())
+	}
+	if res.Makespan != 20 {
+		t.Fatalf("makespan = %d, want 20\n%s", res.Makespan, rec.Render())
+	}
+	if res.CommSlots != 11+4 {
+		t.Fatalf("comm slots = %d, want 15\n%s", res.CommSlots, rec.Render())
+	}
+	if res.ComputeSlots != 2+6 {
+		t.Fatalf("compute slots = %d, want 8\n%s", res.ComputeSlots, rec.Render())
+	}
+}

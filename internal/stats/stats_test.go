@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5, 1e-12) {
+		t.Fatal("mean of 1..4")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("mean of empty should be NaN")
+	}
+	if !almost(Mean([]float64{-5}), -5, 0) {
+		t.Fatal("mean of singleton")
+	}
+}
+
+func TestVarianceAndStdev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator: 32/7.
+	if !almost(Variance(xs), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", Variance(xs))
+	}
+	if !almost(Stdev(xs), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stdev = %v", Stdev(xs))
+	}
+	if Variance([]float64{42}) != 0 {
+		t.Fatal("variance of singleton should be 0")
+	}
+	if !math.IsNaN(Variance(nil)) {
+		t.Fatal("variance of empty should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("min/max of empty should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.25); !almost(got, 2.5, 1e-12) {
+		t.Fatalf("interpolated quantile = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("quantile of empty should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 4 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(q=2) did not panic")
+		}
+	}()
+	Quantile([]float64{1}, 2)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almost(s.Mean, 2, 1e-12) || !almost(s.Median, 2, 1e-12) ||
+		s.Min != 1 || s.Max != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	if err := quick.Check(func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, r := range raw {
+			xs[i] = float64(r) / 3.7
+			w.Add(xs[i])
+		}
+		return almost(w.Mean(), Mean(xs), 1e-9) &&
+			almost(w.Stdev(), Stdev(xs), 1e-9) &&
+			w.N() == len(xs)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Stdev()) {
+		t.Fatal("empty Welford should report NaN")
+	}
+	w.Add(5)
+	if w.Stdev() != 0 {
+		t.Fatal("single-observation stdev should be 0")
+	}
+}
+
+// Property: variance is translation-invariant and scales quadratically.
+func TestVarianceProperties(t *testing.T) {
+	if err := quick.Check(func(raw []uint8, shift uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		shifted := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+			shifted[i] = xs[i] + float64(shift)
+			scaled[i] = 3 * xs[i]
+		}
+		v := Variance(xs)
+		return almost(Variance(shifted), v, 1e-6*(1+v)) &&
+			almost(Variance(scaled), 9*v, 1e-6*(1+9*v))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package trace records and renders execution traces of the simulator in
+// the visual language of the paper's Figure 1: one row per processor, one
+// column per time-slot, with the worker's activity (receiving the Program,
+// receiving Data, Computing, or Idle while enrolled) drawn over its
+// availability state (UP, RECLAIMED, DOWN).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tightsched/internal/markov"
+)
+
+// Activity is what a worker is doing during a slot.
+type Activity uint8
+
+const (
+	// NotEnrolled marks a worker outside the current configuration.
+	NotEnrolled Activity = iota
+	// Idle marks an enrolled worker with nothing to do this slot (e.g.
+	// waiting for master bandwidth or for peers).
+	Idle
+	// Program marks a worker receiving the application program.
+	Program
+	// Data marks a worker receiving a task-data message.
+	Data
+	// Compute marks a worker computing (all enrolled workers UP).
+	Compute
+)
+
+// String returns the Figure 1 letter of the activity.
+func (a Activity) String() string {
+	switch a {
+	case NotEnrolled:
+		return "."
+	case Idle:
+		return "I"
+	case Program:
+		return "P"
+	case Data:
+		return "D"
+	case Compute:
+		return "C"
+	default:
+		return "?"
+	}
+}
+
+// Step is the recorded state of one time-slot.
+type Step struct {
+	Slot       int64
+	States     []markov.State
+	Activities []Activity
+	// Event annotates slot-level happenings ("iteration 3 complete",
+	// "restart: P4 DOWN", ...). Empty for ordinary slots.
+	Event string
+}
+
+// Recorder accumulates steps. The zero value is ready to use. A nil
+// *Recorder is a valid no-op recorder, so the engine can record
+// unconditionally.
+type Recorder struct {
+	Steps []Step
+}
+
+// Record appends one step. The state and activity slices are copied.
+// Calling Record on a nil recorder is a no-op.
+func (r *Recorder) Record(slot int64, states []markov.State, acts []Activity, event string) {
+	if r == nil {
+		return
+	}
+	st := make([]markov.State, len(states))
+	copy(st, states)
+	ac := make([]Activity, len(acts))
+	copy(ac, acts)
+	r.Steps = append(r.Steps, Step{Slot: slot, States: st, Activities: ac, Event: event})
+}
+
+// Len returns the number of recorded steps.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Steps)
+}
+
+// Render draws the trace as an ASCII Gantt chart. Each processor row shows
+// one character per slot:
+//
+//	P, D, C, I — the activity letter of an enrolled UP worker,
+//	p, d, i    — the same worker while RECLAIMED (suspended),
+//	.          — UP but not enrolled,
+//	~          — RECLAIMED and not enrolled,
+//	#          — DOWN.
+//
+// Events are listed under the chart.
+func (r *Recorder) Render() string {
+	if r.Len() == 0 {
+		return "(empty trace)\n"
+	}
+	n := len(r.Steps)
+	p := len(r.Steps[0].States)
+	var b strings.Builder
+
+	// Time ruler (tens digits on one line, units on the next) for traces
+	// long enough to need it.
+	fmt.Fprintf(&b, "%-5s", "t")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d", r.Steps[i].Slot%10)
+	}
+	b.WriteByte('\n')
+
+	for q := 0; q < p; q++ {
+		fmt.Fprintf(&b, "P%-4d", q+1)
+		for i := 0; i < n; i++ {
+			b.WriteByte(cell(r.Steps[i].States[q], r.Steps[i].Activities[q]))
+		}
+		b.WriteByte('\n')
+	}
+
+	for _, s := range r.Steps {
+		if s.Event != "" {
+			fmt.Fprintf(&b, "t=%-4d %s\n", s.Slot, s.Event)
+		}
+	}
+	return b.String()
+}
+
+func cell(st markov.State, act Activity) byte {
+	switch st {
+	case markov.Down:
+		return '#'
+	case markov.Reclaimed:
+		switch act {
+		case Program:
+			return 'p'
+		case Data:
+			return 'd'
+		case Idle, Compute:
+			return 'i'
+		default:
+			return '~'
+		}
+	default: // Up
+		switch act {
+		case Program:
+			return 'P'
+		case Data:
+			return 'D'
+		case Compute:
+			return 'C'
+		case Idle:
+			return 'I'
+		default:
+			return '.'
+		}
+	}
+}
+
+// AvailabilityScript exports the recorded availability as one string per
+// processor ('u'/'r'/'d' per slot), the format sim.ParseScript accepts —
+// so a recorded realization can be replayed exactly, e.g. under a
+// different heuristic.
+func (r *Recorder) AvailabilityScript() []string {
+	if r.Len() == 0 {
+		return nil
+	}
+	p := len(r.Steps[0].States)
+	out := make([]string, p)
+	var b strings.Builder
+	for q := 0; q < p; q++ {
+		b.Reset()
+		for _, step := range r.Steps {
+			switch step.States[q] {
+			case markov.Up:
+				b.WriteByte('u')
+			case markov.Reclaimed:
+				b.WriteByte('r')
+			default:
+				b.WriteByte('d')
+			}
+		}
+		out[q] = b.String()
+	}
+	return out
+}
+
+// Legend returns a human-readable key for Render output.
+func Legend() string {
+	return strings.Join([]string{
+		"P/D/C/I  enrolled UP worker: program / data / compute / idle",
+		"p/d/i    same worker while RECLAIMED (suspended)",
+		".        UP, not enrolled",
+		"~        RECLAIMED, not enrolled",
+		"#        DOWN",
+	}, "\n") + "\n"
+}

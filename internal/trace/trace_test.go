@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"tightsched/internal/markov"
+)
+
+func TestActivityString(t *testing.T) {
+	cases := map[Activity]string{
+		NotEnrolled: ".", Idle: "I", Program: "P", Data: "D", Compute: "C",
+		Activity(99): "?",
+	}
+	for act, want := range cases {
+		if act.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", act, act.String(), want)
+		}
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record(0, []markov.State{markov.Up}, []Activity{Idle}, "")
+	if r.Len() != 0 {
+		t.Fatal("nil recorder stored a step")
+	}
+}
+
+func TestRecordCopies(t *testing.T) {
+	r := &Recorder{}
+	states := []markov.State{markov.Up}
+	acts := []Activity{Program}
+	r.Record(0, states, acts, "")
+	states[0] = markov.Down
+	acts[0] = Compute
+	if r.Steps[0].States[0] != markov.Up || r.Steps[0].Activities[0] != Program {
+		t.Fatal("Record aliases caller slices")
+	}
+}
+
+func TestRenderCells(t *testing.T) {
+	r := &Recorder{}
+	// One slot exercising every cell variant.
+	r.Record(0,
+		[]markov.State{markov.Up, markov.Up, markov.Up, markov.Up, markov.Up,
+			markov.Reclaimed, markov.Reclaimed, markov.Reclaimed, markov.Reclaimed, markov.Down},
+		[]Activity{Program, Data, Compute, Idle, NotEnrolled,
+			Program, Data, Idle, NotEnrolled, NotEnrolled},
+		"boom")
+	out := r.Render()
+	for _, want := range []string{"P", "D", "C", "I", ".", "p", "d", "i", "~", "#", "boom"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Ten processor rows plus ruler plus event line.
+	if lines := strings.Count(out, "\n"); lines < 12 {
+		t.Fatalf("render has %d lines:\n%s", lines, out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := (&Recorder{}).Render(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render: %q", out)
+	}
+	var nilRec *Recorder
+	if out := nilRec.Render(); !strings.Contains(out, "empty") {
+		t.Fatalf("nil render: %q", out)
+	}
+}
+
+func TestLegendMentionsAllSymbols(t *testing.T) {
+	l := Legend()
+	for _, sym := range []string{"P/D/C/I", "p/d/i", "~", "#"} {
+		if !strings.Contains(l, sym) {
+			t.Fatalf("legend missing %q", sym)
+		}
+	}
+}
+
+func TestAvailabilityScript(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, []markov.State{markov.Up, markov.Down}, []Activity{Idle, NotEnrolled}, "")
+	r.Record(1, []markov.State{markov.Reclaimed, markov.Up}, []Activity{Idle, NotEnrolled}, "")
+	got := r.AvailabilityScript()
+	if len(got) != 2 || got[0] != "ur" || got[1] != "du" {
+		t.Fatalf("script = %v", got)
+	}
+	if (&Recorder{}).AvailabilityScript() != nil {
+		t.Fatal("empty recorder should export nil script")
+	}
+}
+
+func TestRulerUsesSlotNumbers(t *testing.T) {
+	r := &Recorder{}
+	for slot := int64(7); slot < 13; slot++ {
+		r.Record(slot, []markov.State{markov.Up}, []Activity{Idle}, "")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "789012") {
+		t.Fatalf("ruler should show slot digits 789012:\n%s", out)
+	}
+}

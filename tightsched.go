@@ -1,0 +1,133 @@
+// Package tightsched is a Go reproduction of "Scheduling Tightly-Coupled
+// Applications on Heterogeneous Desktop Grids" (Casanova, Dufossé, Robert,
+// Vivien — HCW 2013): scheduling iterative master-worker applications
+// whose tasks are tightly coupled (all enrolled workers must be UP
+// simultaneously for the computation to progress) on volatile desktop-grid
+// processors with a 3-state availability model (UP / RECLAIMED / DOWN) and
+// a bandwidth-bounded master.
+//
+// The package is a thin façade over the implementation packages:
+//
+//   - scenario construction (paper-style random platforms or custom ones),
+//   - the paper's 17 scheduling heuristics (4 passive incremental, 12
+//     proactive combinations, RANDOM),
+//   - the Section V Markov-chain estimates of success probability and
+//     expected completion time,
+//   - a slot-synchronous discrete-event simulator implementing the
+//     Section III execution model, and
+//   - the Section VII experiment harness (Tables I-II, Figure 2).
+//
+// Quickstart:
+//
+//	sc := tightsched.PaperScenario(5, 10, 2, 42)
+//	res, err := tightsched.Run(sc, "Y-IE", tightsched.Options{Seed: 1})
+//	// res.Makespan is the number of slots to complete 10 iterations.
+//
+// See the examples/ directory and DESIGN.md for the full tour.
+package tightsched
+
+import (
+	"tightsched/internal/app"
+	"tightsched/internal/core"
+	"tightsched/internal/exp"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+	"tightsched/internal/sched"
+	"tightsched/internal/sim"
+	"tightsched/internal/trace"
+)
+
+// Model types.
+type (
+	// Scenario bundles a platform and an application.
+	Scenario = core.Scenario
+	// Platform is a desktop grid: volatile processors plus the master's
+	// communication capacity.
+	Platform = platform.Platform
+	// Processor is one volatile worker (speed, capacity, availability).
+	Processor = platform.Processor
+	// Application is the tightly-coupled iterative application model.
+	Application = app.Application
+	// Assignment maps tasks onto processors (Assignment[q] = x_q).
+	Assignment = app.Assignment
+	// AvailabilityMatrix is a 3-state Markov transition matrix over
+	// (UP, RECLAIMED, DOWN).
+	AvailabilityMatrix = markov.Matrix
+	// State is a processor availability state.
+	State = markov.State
+)
+
+// Availability states.
+const (
+	Up        = markov.Up
+	Reclaimed = markov.Reclaimed
+	Down      = markov.Down
+)
+
+// Simulation types.
+type (
+	// Options tune a single run.
+	Options = core.Options
+	// Result is the outcome of one run.
+	Result = sim.Result
+	// Recorder captures per-slot execution traces (see Figure 1).
+	Recorder = trace.Recorder
+	// Heuristic is the scheduling-policy interface; implement it to plug
+	// a custom policy into the simulator via Options.Custom.
+	Heuristic = sched.Heuristic
+	// HeuristicSummary aggregates one heuristic's results over trials.
+	HeuristicSummary = core.HeuristicSummary
+	// SetEstimate carries the Section V probabilistic estimates.
+	SetEstimate = core.SetEstimate
+)
+
+// Experiment-harness types.
+type (
+	// Sweep describes a Section VII experimental campaign.
+	Sweep = exp.Sweep
+	// SweepResult holds a campaign's raw instance results.
+	SweepResult = exp.Result
+	// TableRow is one line of Table I / Table II.
+	TableRow = exp.TableRow
+)
+
+// DefaultCap is the paper's makespan failure limit (1,000,000 slots).
+const DefaultCap = sim.DefaultCap
+
+// PaperScenario draws a random scenario with the Section VII.A parameters.
+func PaperScenario(m, ncom, wmin int, seed uint64) Scenario {
+	return core.PaperScenario(m, ncom, wmin, seed)
+}
+
+// Heuristics returns the paper's 17 heuristic names.
+func Heuristics() []string { return core.Heuristics() }
+
+// Run simulates a scenario under the named heuristic.
+func Run(sc Scenario, heuristic string, opt Options) (Result, error) {
+	return core.Run(sc, heuristic, opt)
+}
+
+// Compare runs several heuristics over shared availability realizations.
+func Compare(sc Scenario, heuristics []string, trials int, baseSeed uint64, opt Options) ([]HeuristicSummary, error) {
+	return core.Compare(sc, heuristics, trials, baseSeed, opt)
+}
+
+// Estimate computes P⁺, success probability and conditional expected
+// duration for a worker set executing w coupled compute slots.
+func Estimate(sc Scenario, workers []int, w int) (SetEstimate, error) {
+	return core.Estimate(sc, workers, w)
+}
+
+// PaperSweep returns the full Section VII campaign for m tasks.
+func PaperSweep(m int) Sweep { return exp.PaperSweep(m) }
+
+// QuickSweep returns a reduced campaign preserving the sweep's shape.
+func QuickSweep(m int) Sweep { return exp.QuickSweep(m) }
+
+// RunSweep executes a campaign (in parallel; deterministic).
+func RunSweep(sweep Sweep, progress func(done, total int)) (*SweepResult, error) {
+	return exp.Run(sweep, progress)
+}
+
+// FormatTable renders aggregated rows in the paper's table layout.
+func FormatTable(rows []TableRow) string { return exp.FormatTable(rows) }

@@ -1,0 +1,106 @@
+package tightsched_test
+
+import (
+	"strings"
+	"testing"
+
+	"tightsched"
+	"tightsched/internal/markov"
+)
+
+func TestFacadeRun(t *testing.T) {
+	sc := tightsched.PaperScenario(4, 10, 1, 5)
+	rec := &tightsched.Recorder{}
+	res, err := tightsched.Run(sc, "Y-IE", tightsched.Options{Seed: 2, Cap: 100000, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.Completed != 10 {
+		t.Fatalf("run: %+v", res)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no trace recorded")
+	}
+}
+
+func TestFacadeHeuristics(t *testing.T) {
+	names := tightsched.Heuristics()
+	if len(names) != 17 {
+		t.Fatalf("%d heuristics", len(names))
+	}
+}
+
+func TestFacadeStates(t *testing.T) {
+	if tightsched.Up != markov.Up || tightsched.Down != markov.Down || tightsched.Reclaimed != markov.Reclaimed {
+		t.Fatal("state aliases broken")
+	}
+}
+
+func TestFacadeCustomScenario(t *testing.T) {
+	avail := tightsched.AvailabilityMatrix{
+		{0.95, 0.03, 0.02},
+		{0.5, 0.48, 0.02},
+		{0.5, 0.25, 0.25},
+	}
+	procs := make([]tightsched.Processor, 6)
+	for i := range procs {
+		procs[i] = tightsched.Processor{Speed: 1 + i, Capacity: 4, Avail: avail}
+	}
+	sc := tightsched.Scenario{
+		Platform: &tightsched.Platform{Procs: procs, Ncom: 3},
+		App:      tightsched.Application{Tasks: 4, Tprog: 3, Tdata: 1, Iterations: 3},
+	}
+	res, err := tightsched.Run(sc, "E-IAY", tightsched.Options{Seed: 1, Cap: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}
+
+func TestFacadeEstimateAndCompare(t *testing.T) {
+	sc := tightsched.PaperScenario(3, 10, 1, 8)
+	est, err := tightsched.Estimate(sc, []int{0, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Pplus <= 0 || est.Pplus >= 1 {
+		t.Fatalf("estimate: %+v", est)
+	}
+	sums, err := tightsched.Compare(sc, []string{"IE", "Y-IE"}, 2, 3, tightsched.Options{Cap: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("summaries: %+v", sums)
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	sweep := tightsched.QuickSweep(5)
+	sweep.Wmins = []int{1}
+	sweep.Ncoms = []int{10}
+	sweep.Scenarios = 1
+	sweep.Trials = 1
+	sweep.Heuristics = []string{"IE", "RANDOM"}
+	sweep.Cap = 50000
+	res, err := tightsched.RunSweep(sweep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Table("IE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tightsched.FormatTable(rows)
+	if !strings.Contains(out, "RANDOM") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestFacadeDefaultCap(t *testing.T) {
+	if tightsched.DefaultCap != 1_000_000 {
+		t.Fatalf("default cap %d", tightsched.DefaultCap)
+	}
+}
