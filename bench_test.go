@@ -224,6 +224,40 @@ func BenchmarkHeuristicDecide(b *testing.B) {
 	}
 }
 
+// BenchmarkDecideAllocations tracks per-decision allocation churn in the
+// scheduling hot path (the satellite fix of the avail-subsystem PR).
+// Before heuristics owned scratch buffers — upWorkers, needs/expComm and
+// a fresh SetEval were allocated on every candidate build — one passive
+// decision cost ~17 allocs / ~21 KB; with reuse it is down to the
+// returned assignment (~2 allocs / ~2 KB). Watch allocs/op: a regression
+// here multiplies across every slot of every simulation of a sweep.
+func BenchmarkDecideAllocations(b *testing.B) {
+	for _, name := range []string{"IE", "Y-IE", "RANDOM", "FASTEST"} {
+		b.Run(name, func(b *testing.B) {
+			sc := tightsched.PaperScenario(10, 10, 5, 42)
+			env := &sched.Env{
+				Platform: sc.Platform,
+				App:      sc.App,
+				Analytic: analytic.NewPlatform(sc.Platform.Matrices(), sim.DefaultEps),
+				Rand:     rng.New(7),
+			}
+			h := sched.MustBuild(name, env)
+			v := &sched.View{
+				States:  make([]markov.State, sc.Platform.Size()),
+				Workers: make([]sched.WorkerInfo, sc.Platform.Size()),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.RetentionEpoch = int64(i) // defeat the proactive cache
+				if asg := h.Decide(v); asg == nil {
+					b.Fatal("no configuration")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineSlots measures raw engine throughput in slots/op with a
 // passive heuristic on a paper-size platform.
 func BenchmarkEngineSlots(b *testing.B) {

@@ -1,7 +1,11 @@
 // Command tables regenerates the paper's evaluation artifacts: Table I
 // (m = 5), Table II (m = 10) and Figure 2 (%diff versus wmin for m = 10),
 // by sweeping the Section VII.A experimental space and aggregating the
-// paper's metrics against the reference heuristic IE.
+// paper's metrics against the reference heuristic IE. Table III — the
+// cross-model comparison the paper's Section VII.B only speculates
+// about — reruns the m = 5 campaign under every availability model of
+// -models (Markov ground truth versus model-violating semi-Markov truth
+// with fitted believed matrices) and prints one table per model.
 //
 // Scale:
 //
@@ -14,6 +18,8 @@
 //
 //	tables -table 1
 //	tables -table 2
+//	tables -table 3
+//	tables -table 3 -models markov,semimarkov,lognormal
 //	tables -figure 2
 //	tables -table 1 -scale full
 package main
@@ -26,13 +32,15 @@ import (
 	"strings"
 	"time"
 
+	"tightsched/internal/avail"
 	"tightsched/internal/exp"
 )
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "regenerate Table 1 (m=5) or 2 (m=10)")
+		table     = flag.Int("table", 0, "regenerate Table 1 (m=5), 2 (m=10) or 3 (m=5, per availability model)")
 		figure    = flag.Int("figure", 0, "regenerate Figure 2 (%diff vs wmin, m=10)")
+		models    = flag.String("models", "", "availability models to sweep, e.g. markov,semimarkov (Table 3 default: markov,semimarkov)")
 		scale     = flag.String("scale", "quick", "quick | full")
 		scenarios = flag.Int("scenarios", 0, "override scenarios per point")
 		trials    = flag.Int("trials", 0, "override trials per scenario")
@@ -52,13 +60,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tables: only Figure 2 exists in the paper")
 		os.Exit(2)
 	}
-	if *table != 0 && *table != 1 && *table != 2 {
-		fmt.Fprintln(os.Stderr, "tables: only Tables 1 and 2 exist in the paper")
+	if *table != 0 && (*table < 1 || *table > 3) {
+		fmt.Fprintln(os.Stderr, "tables: choose Table 1, 2 or 3")
 		os.Exit(2)
 	}
-	if *table == 1 && *figure == 2 {
-		fmt.Fprintln(os.Stderr, "tables: Table 1 (m=5) and Figure 2 (m=10) need different sweeps")
+	if (*table == 1 || *table == 3) && *figure == 2 {
+		fmt.Fprintln(os.Stderr, "tables: Tables 1/3 (m=5) and Figure 2 (m=10) need different sweeps")
 		os.Exit(2)
+	}
+	if *models != "" && *table != 3 {
+		fmt.Fprintln(os.Stderr, "tables: -models only applies to Table 3; Tables 1/2 and Figure 2 are the paper's single-model artifacts")
+		os.Exit(2)
+	}
+	if *table == 3 && *models == "" {
+		*models = "markov,semimarkov"
 	}
 
 	m := 5
@@ -102,10 +117,20 @@ func main() {
 		}
 		sweep.Wmins = ws
 	}
+	if *models != "" {
+		for _, part := range strings.Split(*models, ",") {
+			model, err := avail.Builtin(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(2)
+			}
+			sweep.Models = append(sweep.Models, model)
+		}
+	}
 
 	total := sweep.InstanceCount() * 17
-	fmt.Printf("# sweep: m=%d ncom=%v wmin=%v scenarios=%d trials=%d cap=%d (%d simulations)\n",
-		sweep.M, sweep.Ncoms, sweep.Wmins, sweep.Scenarios, sweep.Trials, sweep.Cap, total)
+	fmt.Printf("# sweep: m=%d ncom=%v wmin=%v scenarios=%d trials=%d cap=%d models=%v (%d simulations)\n",
+		sweep.M, sweep.Ncoms, sweep.Wmins, sweep.Scenarios, sweep.Trials, sweep.Cap, modelNames(sweep), total)
 
 	start := time.Now()
 	progress := func(done, total int) {
@@ -133,6 +158,15 @@ func main() {
 		fmt.Printf("\nTable II — results with m = 10 tasks (reference: IE)\n\n")
 		printTable(res)
 	}
+	if *table == 3 {
+		fmt.Printf("\nTable III — results with m = 5 tasks per availability model (reference: IE)\n\n")
+		tables, err := res.TableIII(exp.ReferenceHeuristic)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exp.FormatTableIII(tables))
+	}
 	if *figure == 2 {
 		fmt.Printf("\nFigure 2 — relative distance to IE vs wmin (m = 10)\n\n")
 		series, err := res.Figure2(exp.ReferenceHeuristic)
@@ -143,6 +177,17 @@ func main() {
 		names := []string{"E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"}
 		fmt.Print(exp.FormatFigure2(series, names))
 	}
+}
+
+func modelNames(sweep exp.Sweep) []string {
+	if len(sweep.Models) == 0 {
+		return []string{"markov"}
+	}
+	names := make([]string, len(sweep.Models))
+	for i, m := range sweep.Models {
+		names[i] = m.Name()
+	}
+	return names
 }
 
 func printTable(res *exp.Result) {

@@ -5,17 +5,16 @@
 // traces, and investigate how 'wrong' the Markov heuristics behave in a
 // real-world setting."
 //
-// This example does exactly that, with the semi-Markov ground truth the
-// literature suggests (Weibull holding times, heavy-tailed for UP
-// periods):
+// The avail subsystem does all of that now; this example is a thin caller:
 //
-//  1. each processor's true availability is a 3-state semi-Markov process
-//     with heavy-tailed Weibull UP durations — NOT memoryless;
-//  2. a calibration trace is recorded per processor and a Markov matrix is
-//     fitted from its one-step transition counts (the "flawed model");
-//  3. the Markov-based heuristics run with the fitted model while the
-//     platform actually follows the semi-Markov truth;
-//  4. for reference, the same heuristics run in "laboratory conditions",
+//  1. each processor's true availability is an explicit 3-state
+//     semi-Markov process with heavy-tailed Weibull UP durations — NOT
+//     memoryless;
+//  2. avail.SemiMarkovModel fits the "flawed" Markov matrices from
+//     calibration traces (EstimatorMatrices), and every simulation run
+//     under the model has its heuristics believe those matrices while the
+//     platform follows the semi-Markov truth;
+//  3. for reference, the same heuristics run in "laboratory conditions",
 //     where the platform really follows the fitted Markov chains.
 //
 // Run with:
@@ -28,16 +27,13 @@ import (
 	"log"
 
 	"tightsched/internal/app"
+	"tightsched/internal/avail"
+	"tightsched/internal/core"
 	"tightsched/internal/markov"
 	"tightsched/internal/platform"
-	"tightsched/internal/rng"
-	"tightsched/internal/sim"
 )
 
-const (
-	procs      = 12
-	calibSlots = 50_000
-)
+const procs = 12
 
 // truth builds processor q's real availability process: heavy-tailed UP
 // periods, moderate RECLAIMED periods, short DOWN periods; upon leaving
@@ -56,38 +52,40 @@ func truth(q int) *markov.SemiMarkov {
 }
 
 func main() {
-	// Fit the flawed Markov model from per-processor calibration traces.
-	fitted := make([]markov.Matrix, procs)
-	for q := 0; q < procs; q++ {
-		sampler := markov.NewSemiMarkovSampler(truth(q), markov.Up, rng.NewKeyed(1, uint64(q)))
-		tr := make([]markov.State, calibSlots)
-		for i := range tr {
-			tr[i] = sampler.Step()
-		}
-		m, err := markov.Fit(tr, 0.5)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fitted[q] = m
+	model := &avail.SemiMarkovModel{
+		Label:            "weibull-truth",
+		Procs:            make([]*markov.SemiMarkov, procs),
+		CalibrationSlots: 50_000,
+		CalibrationSeed:  1,
 	}
+	for q := range model.Procs {
+		model.Procs[q] = truth(q)
+	}
+	fitted := model.EstimatorMatrices(nil)
 
-	// The platform the heuristics believe in: fitted chains.
+	// One platform, two ground truths: with the model attached, the
+	// processors follow the semi-Markov truth while heuristics believe
+	// the fitted chains; without it, the fitted chains are the truth.
 	ps := make([]platform.Processor, procs)
 	for q := range ps {
 		ps[q] = platform.Processor{Speed: 1 + q%4, Capacity: 6, Avail: fitted[q]}
 	}
-	pl := &platform.Platform{Procs: ps, Ncom: 6}
-	application := app.Application{Tasks: 6, Tprog: 5, Tdata: 1, Iterations: 10}
+	sc := core.Scenario{
+		Platform: &platform.Platform{Procs: ps, Ncom: 6},
+		App:      app.Application{Tasks: 6, Tprog: 5, Tdata: 1, Iterations: 10},
+	}
 
 	fmt.Println("non-Markovian availability: Weibull(0.6) UP periods, Markov model fitted")
-	fmt.Printf("from %d calibration slots per processor\n\n", calibSlots)
+	fmt.Printf("from %d calibration slots per processor\n\n", model.CalibrationSlots)
 	fmt.Printf("%-8s %16s %16s\n", "policy", "semi-Markov truth", "Markov (lab)")
 
 	const trials = 8
-	for _, name := range []string{"Y-IE", "P-IE", "IE", "IAY", "RANDOM"} {
-		real := meanMakespan(pl, application, name, trials, true)
-		lab := meanMakespan(pl, application, name, trials, false)
-		fmt.Printf("%-8s %16.0f %16.0f\n", name, real, lab)
+	const cap = 400_000
+	names := []string{"Y-IE", "P-IE", "IE", "IAY", "RANDOM"}
+	real := compare(sc, names, trials, core.Options{Cap: cap, Model: model})
+	lab := compare(sc, names, trials, core.Options{Cap: cap})
+	for i, name := range names {
+		fmt.Printf("%-8s %16.0f %16.0f\n", name, real[i], lab[i])
 	}
 	fmt.Println()
 	fmt.Println("mean makespan in slots over", trials, "trials; lower is better.")
@@ -98,39 +96,20 @@ func main() {
 	fmt.Println("a quantitative answer to the paper's open question.")
 }
 
-// meanMakespan runs one policy several times, either against the true
-// semi-Markov availability or against the fitted Markov model itself.
-func meanMakespan(pl *platform.Platform, application app.Application, name string, trials int, semi bool) float64 {
-	var total float64
-	for tr := 0; tr < trials; tr++ {
-		cfg := sim.Config{
-			Platform:  pl,
-			App:       application,
-			Heuristic: name,
-			Seed:      uint64(100 + tr),
-			Cap:       400_000,
-		}
-		if semi {
-			samplers := make([]*markov.SemiMarkovSampler, pl.Size())
-			for q := range samplers {
-				samplers[q] = markov.NewSemiMarkovSampler(truth(q), markov.Up,
-					rng.NewKeyed(uint64(1000+tr), uint64(q)))
-			}
-			cfg.Provider = sim.ProviderFunc(func(slot int64, dst []markov.State) {
-				for q, s := range samplers {
-					if slot == 0 {
-						dst[q] = s.State()
-					} else {
-						dst[q] = s.Step()
-					}
-				}
-			})
-		}
-		res, err := sim.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		total += float64(res.Makespan)
+// compare returns the per-heuristic mean makespan over all trials —
+// capped (failed) trials count at the cap, as in the paper's #fails
+// accounting — under the options' ground truth.
+func compare(sc core.Scenario, names []string, trials int, opt core.Options) []float64 {
+	sums, err := core.Compare(sc, names, trials, 100, opt)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return total / float64(trials)
+	means := make([]float64, len(sums))
+	for i, s := range sums {
+		means[i] = float64(opt.Cap)
+		if succeeded := float64(trials - s.Fails); succeeded > 0 {
+			means[i] = (s.Makespan.Mean*succeeded + float64(opt.Cap)*float64(s.Fails)) / float64(trials)
+		}
+	}
+	return means
 }

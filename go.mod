@@ -1,0 +1,3 @@
+module tightsched
+
+go 1.24

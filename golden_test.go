@@ -1,0 +1,117 @@
+package tightsched_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tightsched"
+	"tightsched/internal/exp"
+)
+
+// goldenRuns pins the simulator's exact outcomes for fixed seeds, as
+// produced by the seed revision BEFORE availability models existed (the
+// hard-wired Markov sampler). The pluggable avail.Model path must
+// reproduce them bit-for-bit: same heuristic rankings, same Result
+// fields. Scenario: PaperScenario(m, 10, 2, 11), Cap 200,000.
+var goldenRuns = []struct {
+	m         int
+	heuristic string
+	seed      uint64
+	makespan  int64
+	completed int
+	restarts  int64
+	reconfigs int64
+}{
+	{5, "IE", 1, 667, 10, 18, 0},
+	{5, "IE", 7, 337, 10, 9, 0},
+	{5, "IE", 42, 464, 10, 12, 0},
+	{5, "Y-IE", 1, 622, 10, 18, 12},
+	{5, "Y-IE", 7, 432, 10, 13, 10},
+	{5, "Y-IE", 42, 442, 10, 12, 11},
+	{5, "P-IE", 1, 667, 10, 18, 13},
+	{5, "P-IE", 7, 533, 10, 17, 13},
+	{5, "P-IE", 42, 442, 10, 12, 10},
+	{5, "IAY", 1, 795, 10, 15, 0},
+	{5, "IAY", 7, 571, 10, 12, 0},
+	{5, "IAY", 42, 582, 10, 9, 0},
+	{5, "RANDOM", 1, 4400, 10, 303, 0},
+	{5, "RANDOM", 7, 2628, 10, 193, 0},
+	{5, "RANDOM", 42, 3204, 10, 221, 0},
+	{5, "FASTEST", 1, 587, 10, 32, 0},
+	{5, "FASTEST", 7, 553, 10, 25, 0},
+	{5, "FASTEST", 42, 475, 10, 20, 0},
+	{10, "IE", 1, 1413, 10, 48, 0},
+	{10, "IE", 7, 2086, 10, 81, 0},
+	{10, "IE", 42, 1756, 10, 63, 0},
+	{10, "Y-IE", 1, 1518, 10, 30, 34},
+	{10, "Y-IE", 7, 1146, 10, 28, 27},
+	{10, "Y-IE", 42, 1023, 10, 24, 22},
+	{10, "P-IE", 1, 1580, 10, 29, 33},
+	{10, "P-IE", 7, 1195, 10, 28, 30},
+	{10, "P-IE", 42, 1023, 10, 24, 21},
+	{10, "IAY", 1, 1743, 10, 22, 0},
+	{10, "IAY", 7, 1633, 10, 28, 0},
+	{10, "IAY", 42, 1954, 10, 28, 0},
+	{10, "RANDOM", 1, 53590, 10, 5380, 0},
+	{10, "RANDOM", 7, 92985, 10, 9347, 0},
+	{10, "RANDOM", 42, 51486, 10, 5148, 0},
+	{10, "FASTEST", 1, 2799, 10, 210, 0},
+	{10, "FASTEST", 7, 3743, 10, 328, 0},
+	{10, "FASTEST", 42, 2194, 10, 178, 0},
+}
+
+// TestMarkovModelGoldenParity runs every golden case twice — through the
+// default path (no model set) and through an explicit MarkovModel — and
+// requires both to match the pinned pre-refactor results exactly.
+func TestMarkovModelGoldenParity(t *testing.T) {
+	for _, g := range goldenRuns {
+		for _, explicit := range []bool{false, true} {
+			opt := tightsched.Options{Seed: g.seed, Cap: 200_000}
+			if explicit {
+				opt.Model = tightsched.MarkovModel{}
+			}
+			sc := tightsched.PaperScenario(g.m, 10, 2, 11)
+			res, err := tightsched.Run(sc, g.heuristic, opt)
+			if err != nil {
+				t.Fatalf("%s m=%d seed=%d: %v", g.heuristic, g.m, g.seed, err)
+			}
+			if res.Makespan != g.makespan || res.Completed != g.completed ||
+				res.Restarts != g.restarts || res.Reconfigs != g.reconfigs || res.Failed {
+				t.Errorf("%s m=%d seed=%d explicit=%v: got (mk=%d done=%d rst=%d rcf=%d failed=%v), want (%d %d %d %d false)",
+					g.heuristic, g.m, g.seed, explicit,
+					res.Makespan, res.Completed, res.Restarts, res.Reconfigs, res.Failed,
+					g.makespan, g.completed, g.restarts, g.reconfigs)
+			}
+		}
+	}
+}
+
+// TestQuickSweepDeterministicAcrossWorkers requires a QuickSweep-shaped
+// campaign to produce identical instances regardless of the worker-pool
+// size, serial included.
+func TestQuickSweepDeterministicAcrossWorkers(t *testing.T) {
+	base := tightsched.QuickSweep(5)
+	base.Ncoms = []int{10}
+	base.Wmins = []int{1, 2}
+	base.Scenarios = 1
+	base.Trials = 2
+	base.Cap = 50_000
+	base.Heuristics = []string{"IE", "Y-IE", "RANDOM"}
+
+	var reference *exp.Result
+	for _, workers := range []int{1, 4, 16} {
+		sweep := base
+		sweep.Workers = workers
+		res, err := tightsched.RunSweep(sweep, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if reference == nil {
+			reference = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Instances, reference.Instances) {
+			t.Fatalf("workers=%d: instances differ from workers=1", workers)
+		}
+	}
+}

@@ -121,6 +121,18 @@ func (pl *Platform) NewSetEval() *SetEval {
 	}
 }
 
+// Reset empties the evaluator for reuse, keeping its buffers. It lets a
+// heuristic rebuild configurations every slot without re-allocating.
+func (se *SetEval) Reset() {
+	for _, q := range se.members {
+		se.inSet[q] = false
+	}
+	se.members = se.members[:0]
+	se.prod = se.prod[:0]
+	se.lambda = 1
+	se.statsValid = false
+}
+
 // Size returns the number of members in the set.
 func (se *SetEval) Size() int { return len(se.members) }
 
@@ -195,7 +207,11 @@ func (se *SetEval) Add(q int) {
 	horizon := se.horizonFor(newLambda)
 
 	if len(se.members) == 0 {
-		se.prod = make([]float64, horizon)
+		if cap(se.prod) >= horizon {
+			se.prod = se.prod[:horizon]
+		} else {
+			se.prod = make([]float64, horizon)
+		}
 		for i := 0; i < horizon; i++ {
 			se.prod[i] = proc.Puu(i + 1)
 		}

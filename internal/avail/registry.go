@@ -1,0 +1,42 @@
+package avail
+
+import (
+	"fmt"
+
+	"tightsched/internal/markov"
+)
+
+// BuiltinNames returns the names accepted by Builtin, in presentation
+// order.
+func BuiltinNames() []string {
+	return []string{"markov", "semimarkov", "lognormal"}
+}
+
+// Builtin returns a fresh first-class model by name:
+//
+//	markov     — the paper's Markov chains (exact believed matrices)
+//	semimarkov — heavy-tailed Weibull(0.6) UP holding times with fitted
+//	             believed matrices (the Section VII.B future-work model)
+//	lognormal  — Log-Normal holding times in every state (sigma 0.75)
+//
+// Use it to resolve command-line model selections; library callers can
+// also construct and tune models directly.
+func Builtin(name string) (Model, error) {
+	switch name {
+	case "markov":
+		return MarkovModel{}, nil
+	case "semimarkov":
+		return NewSemiMarkov(0.6), nil
+	case "lognormal":
+		return &SemiMarkovModel{
+			Label: "lognormal",
+			Hold: [markov.NumStates]HoldingSpec{
+				{Dist: DistLogNormal, Shape: 0.75},
+				{Dist: DistLogNormal, Shape: 0.75},
+				{Dist: DistLogNormal, Shape: 0.75},
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("avail: unknown model %q (have %v)", name, BuiltinNames())
+	}
+}

@@ -1,0 +1,160 @@
+package avail
+
+import (
+	"fmt"
+	"sync"
+
+	"tightsched/internal/markov"
+)
+
+// ScriptProvider replays a fixed availability script: Script[t][q] is the
+// state of processor q at slot t. Slots beyond the script reuse its last
+// row. It implements StateProvider and is exported for tests, examples
+// and replaying recorded traces.
+type ScriptProvider struct {
+	Script [][]markov.State
+}
+
+// States implements StateProvider.
+func (sp *ScriptProvider) States(slot int64, dst []markov.State) {
+	if len(sp.Script) == 0 {
+		panic("avail: empty script")
+	}
+	row := sp.Script[len(sp.Script)-1]
+	if slot < int64(len(sp.Script)) {
+		row = sp.Script[slot]
+	}
+	if len(row) != len(dst) {
+		panic(fmt.Sprintf("avail: script row has %d states, platform has %d", len(row), len(dst)))
+	}
+	copy(dst, row)
+}
+
+// ParseScript converts a compact textual availability script into rows:
+// one string per processor, one character per slot, 'u' = UP,
+// 'r' = RECLAIMED, 'd' = DOWN. All strings must have equal length.
+func ParseScript(perProc []string) ([][]markov.State, error) {
+	if len(perProc) == 0 {
+		return nil, fmt.Errorf("avail: empty script")
+	}
+	n := len(perProc[0])
+	rows := make([][]markov.State, n)
+	for t := range rows {
+		rows[t] = make([]markov.State, len(perProc))
+	}
+	for q, s := range perProc {
+		if len(s) != n {
+			return nil, fmt.Errorf("avail: processor %d script has length %d, want %d", q, len(s), n)
+		}
+		for t := 0; t < n; t++ {
+			switch s[t] {
+			case 'u', 'U':
+				rows[t][q] = markov.Up
+			case 'r', 'R':
+				rows[t][q] = markov.Reclaimed
+			case 'd', 'D':
+				rows[t][q] = markov.Down
+			default:
+				return nil, fmt.Errorf("avail: processor %d slot %d: unknown state %q", q, t, s[t])
+			}
+		}
+	}
+	return rows, nil
+}
+
+// TraceModel replays a recorded (or scripted) availability log as ground
+// truth. Seeds have no effect — a replay is a replay; every trial sees
+// the same realization — and the believed matrices are fitted from the
+// log itself, exactly the "flawed Markov model based on real-world
+// availability traces" of Section VII.B.
+//
+// Because trials are identical, sweeping a TraceModel with Trials > 1
+// only duplicates instances: per-trial statistics (stdv, %wins sample
+// counts) then overstate the number of independent observations. Use
+// Trials = 1 for trace campaigns.
+//
+// Use by pointer: the fitted believed matrices are memoized internally.
+type TraceModel struct {
+	// Label names the model in experiment output ("trace" if empty).
+	Label string
+	// Script[t][q] is the state of processor q at slot t; slots beyond
+	// the script reuse its last row.
+	Script [][]markov.State
+	// Smoothing is markov.Fit's additive smoothing (DefaultSmoothing
+	// when 0).
+	Smoothing float64
+
+	once sync.Once
+	fit  []markov.Matrix
+	err  error
+}
+
+// NewTraceModel parses a compact textual script (see ParseScript) into a
+// replay model.
+func NewTraceModel(label string, perProc []string) (*TraceModel, error) {
+	script, err := ParseScript(perProc)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceModel{Label: label, Script: script}, nil
+}
+
+// Name implements Model.
+func (tm *TraceModel) Name() string {
+	if tm.Label != "" {
+		return tm.Label
+	}
+	return "trace"
+}
+
+// procCount returns the number of processors the script covers.
+func (tm *TraceModel) procCount() int {
+	if len(tm.Script) == 0 {
+		return 0
+	}
+	return len(tm.Script[0])
+}
+
+// Provider implements Model. The seed and allUp arguments are ignored:
+// the script is the realization.
+func (tm *TraceModel) Provider(base []markov.Matrix, seed uint64, allUp bool) StateProvider {
+	if base != nil && len(base) != tm.procCount() {
+		panic(fmt.Sprintf("avail: trace model %s covers %d processors, platform has %d",
+			tm.Name(), tm.procCount(), len(base)))
+	}
+	return &ScriptProvider{Script: tm.Script}
+}
+
+// EstimatorMatrices implements Model: one matrix per processor, fitted
+// from that processor's column of the script. The script must be at
+// least two slots long for the fit to exist.
+func (tm *TraceModel) EstimatorMatrices(base []markov.Matrix) []markov.Matrix {
+	if base != nil && len(base) != tm.procCount() {
+		panic(fmt.Sprintf("avail: trace model %s covers %d processors, platform has %d",
+			tm.Name(), tm.procCount(), len(base)))
+	}
+	tm.once.Do(func() {
+		smoothing := tm.Smoothing
+		if smoothing == 0 {
+			smoothing = DefaultSmoothing
+		}
+		p := tm.procCount()
+		tm.fit = make([]markov.Matrix, p)
+		for q := 0; q < p; q++ {
+			column := make([]markov.State, len(tm.Script))
+			for t, row := range tm.Script {
+				column[t] = row[q]
+			}
+			m, err := markov.Fit(column, smoothing)
+			if err != nil {
+				tm.err = fmt.Errorf("avail: trace model %s: processor %d: %w", tm.Name(), q, err)
+				return
+			}
+			tm.fit[q] = m
+		}
+	})
+	if tm.err != nil {
+		panic(tm.err)
+	}
+	return tm.fit
+}

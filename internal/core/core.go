@@ -12,6 +12,7 @@ import (
 
 	"tightsched/internal/analytic"
 	"tightsched/internal/app"
+	"tightsched/internal/avail"
 	"tightsched/internal/platform"
 	"tightsched/internal/rng"
 	"tightsched/internal/sched"
@@ -71,6 +72,10 @@ type Options struct {
 	Cap int64
 	// InitialAllUp starts all processors UP instead of at stationarity.
 	InitialAllUp bool
+	// Model selects the ground-truth availability model, overriding the
+	// platform's (the paper's Markov chains when both are nil). See
+	// internal/avail for the first-class models.
+	Model avail.Model
 	// Recorder, when non-nil, captures a per-slot execution trace.
 	Recorder *trace.Recorder
 	// Custom heuristic to run instead of a named one.
@@ -90,6 +95,7 @@ func Run(sc Scenario, heuristic string, opt Options) (sim.Result, error) {
 		Seed:         opt.Seed,
 		Cap:          opt.Cap,
 		InitialAllUp: opt.InitialAllUp,
+		Model:        opt.Model,
 		Recorder:     opt.Recorder,
 	})
 }
@@ -140,6 +146,7 @@ func Compare(sc Scenario, heuristics []string, trials int, baseSeed uint64, opt 
 				Seed:         rng.NewKeyed(baseSeed, uint64(j.trial)).Uint64(),
 				Cap:          opt.Cap,
 				InitialAllUp: opt.InitialAllUp,
+				Model:        opt.Model,
 			})
 		}(i, j)
 	}
@@ -203,7 +210,7 @@ func Estimate(sc Scenario, workers []int, w int) (SetEstimate, error) {
 	if w <= 0 {
 		return SetEstimate{}, fmt.Errorf("core: workload %d", w)
 	}
-	pl := analytic.NewPlatform(sc.Platform.Matrices(), analytic.DefaultEps)
+	pl := analytic.NewPlatform(sc.Platform.BelievedMatrices(), analytic.DefaultEps)
 	st := pl.StatsOf(workers)
 	return SetEstimate{
 		Pplus:            st.Pplus,

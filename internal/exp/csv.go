@@ -8,11 +8,11 @@ import (
 )
 
 // WriteCSV dumps the raw instance results as CSV (header row included):
-// ncom, wmin, scenario, trial, heuristic, makespan, failed. The format is
-// meant for external plotting of Figure 2-style series.
+// ncom, wmin, scenario, trial, heuristic, makespan, failed, model. The
+// format is meant for external plotting of Figure 2-style series.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"ncom", "wmin", "scenario", "trial", "heuristic", "makespan", "failed"}); err != nil {
+	if err := cw.Write([]string{"ncom", "wmin", "scenario", "trial", "heuristic", "makespan", "failed", "model"}); err != nil {
 		return err
 	}
 	for _, inst := range r.Instances {
@@ -24,6 +24,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 			inst.Heuristic,
 			strconv.FormatInt(inst.Makespan, 10),
 			strconv.FormatBool(inst.Failed),
+			modelName(inst),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -34,9 +35,11 @@ func (r *Result) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV parses results written by WriteCSV back into a Result (with an
-// empty Sweep: the CSV carries instances, not campaign metadata).
+// empty Sweep: the CSV carries instances, not campaign metadata). Legacy
+// 7-column files without the model column read back as "markov".
 func ReadCSV(r io.Reader) (*Result, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, err
@@ -47,8 +50,8 @@ func ReadCSV(r io.Reader) (*Result, error) {
 	out := &Result{}
 	wmins := map[int]bool{}
 	for i, row := range rows[1:] {
-		if len(row) != 7 {
-			return nil, fmt.Errorf("exp: row %d has %d fields, want 7", i+2, len(row))
+		if len(row) != 7 && len(row) != 8 {
+			return nil, fmt.Errorf("exp: row %d has %d fields, want 7 or 8", i+2, len(row))
 		}
 		ncom, err1 := strconv.Atoi(row[0])
 		wmin, err2 := strconv.Atoi(row[1])
@@ -61,9 +64,14 @@ func ReadCSV(r io.Reader) (*Result, error) {
 				return nil, fmt.Errorf("exp: row %d: %w", i+2, e)
 			}
 		}
+		model := "markov"
+		if len(row) == 8 && row[7] != "" {
+			model = row[7]
+		}
 		out.Instances = append(out.Instances, InstanceResult{
 			Point:     Point{Ncom: ncom, Wmin: wmin, Scenario: scen},
 			Trial:     trial,
+			Model:     model,
 			Heuristic: row[4],
 			Makespan:  mk,
 			Failed:    failed,

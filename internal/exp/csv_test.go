@@ -10,9 +10,9 @@ import (
 func TestCSVRoundTrip(t *testing.T) {
 	orig := &Result{
 		Instances: []InstanceResult{
-			{Point: Point{5, 1, 0}, Trial: 0, Heuristic: "IE", Makespan: 123},
-			{Point: Point{5, 2, 1}, Trial: 1, Heuristic: "Y-IE", Makespan: 99},
-			{Point: Point{10, 1, 0}, Trial: 0, Heuristic: "RANDOM", Makespan: 100000, Failed: true},
+			{Point: Point{5, 1, 0}, Trial: 0, Model: "markov", Heuristic: "IE", Makespan: 123},
+			{Point: Point{5, 2, 1}, Trial: 1, Model: "semimarkov", Heuristic: "Y-IE", Makespan: 99},
+			{Point: Point{10, 1, 0}, Trial: 0, Model: "markov", Heuristic: "RANDOM", Makespan: 100000, Failed: true},
 		},
 	}
 	var buf bytes.Buffer
@@ -35,6 +35,19 @@ func TestCSVRoundTrip(t *testing.T) {
 	sort.Ints(ws)
 	if len(ws) != 2 || ws[0] != 1 || ws[1] != 2 {
 		t.Fatalf("recovered wmins %v", ws)
+	}
+}
+
+// TestCSVLegacySevenColumns keeps pre-model-axis CSV files readable: the
+// missing model column reads back as "markov".
+func TestCSVLegacySevenColumns(t *testing.T) {
+	data := "ncom,wmin,scenario,trial,heuristic,makespan,failed\n5,1,0,0,IE,123,false\n"
+	back, err := ReadCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Instances) != 1 || back.Instances[0].Model != "markov" {
+		t.Fatalf("legacy read: %+v", back.Instances)
 	}
 }
 

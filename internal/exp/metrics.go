@@ -33,14 +33,19 @@ type TableRow struct {
 	Stdv float64
 }
 
-// scenarioKey groups instances of one scenario draw.
+// scenarioKey groups instances of one scenario draw under one
+// availability model: relative metrics always compare runs that saw the
+// same ground truth.
 type scenarioKey struct {
 	Ncom, Wmin, Scenario int
+	Model                string
 }
 
 // Table aggregates the campaign into rows sorted by %diff ascending (the
 // paper's ordering: best heuristics first). ref names the reference
-// heuristic, normally ReferenceHeuristic.
+// heuristic, normally ReferenceHeuristic. With a multi-model campaign the
+// per-scenario differences of every model pool into one row per
+// heuristic; use TableForModel or TableIII to slice by model.
 func (r *Result) Table(ref string) ([]TableRow, error) {
 	return r.tableFiltered(ref, nil)
 }
@@ -48,10 +53,41 @@ func (r *Result) Table(ref string) ([]TableRow, error) {
 // TableForWmin aggregates only the instances with the given wmin; it is
 // the slicing behind Figure 2.
 func (r *Result) TableForWmin(ref string, wmin int) ([]TableRow, error) {
-	return r.tableFiltered(ref, func(p Point) bool { return p.Wmin == wmin })
+	return r.tableFiltered(ref, func(inst InstanceResult) bool { return inst.Point.Wmin == wmin })
 }
 
-func (r *Result) tableFiltered(ref string, keep func(Point) bool) ([]TableRow, error) {
+// TableForModel aggregates only the instances run under the named
+// availability model (instances recorded before models existed count as
+// "markov").
+func (r *Result) TableForModel(ref, model string) ([]TableRow, error) {
+	return r.tableFiltered(ref, func(inst InstanceResult) bool { return modelName(inst) == model })
+}
+
+// Models returns the distinct availability-model names in the results,
+// sorted; instances recorded before models existed count as "markov".
+func (r *Result) Models() []string {
+	seen := map[string]bool{}
+	for _, inst := range r.Instances {
+		seen[modelName(inst)] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// modelName normalizes an instance's model ("markov" when empty, the
+// pre-model-axis encoding).
+func modelName(inst InstanceResult) string {
+	if inst.Model == "" {
+		return "markov"
+	}
+	return inst.Model
+}
+
+func (r *Result) tableFiltered(ref string, keep func(InstanceResult) bool) ([]TableRow, error) {
 	type cell struct {
 		sum   float64 // Σ makespans over succeeding trials
 		n     int     // succeeding trials
@@ -61,11 +97,11 @@ func (r *Result) tableFiltered(ref string, keep func(Point) bool) ([]TableRow, e
 	perHeur := map[string]map[scenarioKey]*cell{}
 	names := map[string]bool{}
 	for _, inst := range r.Instances {
-		if keep != nil && !keep(inst.Point) {
+		if keep != nil && !keep(inst) {
 			continue
 		}
 		names[inst.Heuristic] = true
-		key := scenarioKey{inst.Point.Ncom, inst.Point.Wmin, inst.Point.Scenario}
+		key := scenarioKey{inst.Point.Ncom, inst.Point.Wmin, inst.Point.Scenario, modelName(inst)}
 		byScen := perHeur[inst.Heuristic]
 		if byScen == nil {
 			byScen = map[scenarioKey]*cell{}
@@ -152,7 +188,7 @@ func (r *Result) tableFiltered(ref string, keep func(Point) bool) ([]TableRow, e
 func (r *Result) RefFailureDominance(ref string) int {
 	failed := map[string]map[scenarioKey]map[int]bool{}
 	for _, inst := range r.Instances {
-		key := scenarioKey{inst.Point.Ncom, inst.Point.Wmin, inst.Point.Scenario}
+		key := scenarioKey{inst.Point.Ncom, inst.Point.Wmin, inst.Point.Scenario, modelName(inst)}
 		byScen := failed[inst.Heuristic]
 		if byScen == nil {
 			byScen = map[scenarioKey]map[int]bool{}
@@ -192,6 +228,43 @@ func FormatTable(rows []TableRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-10s %7d %9.2f %8.2f %9.2f %7.2f\n",
 			r.Heuristic, r.Fails, r.Diff, r.Wins, r.Wins30, r.Stdv)
+	}
+	return b.String()
+}
+
+// ModelTable is one availability model's aggregated rows within a
+// multi-model campaign.
+type ModelTable struct {
+	Model string
+	Rows  []TableRow
+}
+
+// TableIII aggregates a multi-model campaign into one table per
+// availability model — the cross-model comparison the paper's
+// Section VII.B speculates about (how "wrong" do the Markov heuristics
+// get when the Markov assumption is violated?). Within each model the
+// metrics are the usual Table I/II quantities relative to ref.
+func (r *Result) TableIII(ref string) ([]ModelTable, error) {
+	var out []ModelTable
+	for _, model := range r.Models() {
+		rows, err := r.TableForModel(ref, model)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", model, err)
+		}
+		out = append(out, ModelTable{Model: model, Rows: rows})
+	}
+	return out, nil
+}
+
+// FormatTableIII renders per-model tables in the Table I/II layout.
+func FormatTableIII(tables []ModelTable) string {
+	var b strings.Builder
+	for i, mt := range tables {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "availability model: %s\n", mt.Model)
+		b.WriteString(FormatTable(mt.Rows))
 	}
 	return b.String()
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"tightsched/internal/app"
+	"tightsched/internal/avail"
 	"tightsched/internal/platform"
 	"tightsched/internal/rng"
 	"tightsched/internal/sched"
@@ -42,6 +43,14 @@ type Sweep struct {
 	Seed uint64
 	// Heuristics to run (sched.Names() when nil).
 	Heuristics []string
+	// Models are the ground-truth availability models to sweep (the
+	// paper's Markov chains when nil). Every (point, trial, heuristic)
+	// instance runs once per model, so one campaign compares heuristics
+	// across Markov and model-violating availability; model names must
+	// be distinct. Seed-insensitive models (avail.TraceModel) repeat the
+	// same realization every trial — use Trials = 1 with those. See
+	// internal/avail.
+	Models []avail.Model
 	// Workers bounds the number of parallel simulations (NumCPU when 0).
 	Workers int
 	// InitialAllUp starts processors UP instead of at stationarity.
@@ -98,6 +107,16 @@ func (s *Sweep) Validate() error {
 			return fmt.Errorf("exp: unknown heuristic %q", h)
 		}
 	}
+	seen := map[string]bool{}
+	for i, m := range s.Models {
+		if m == nil {
+			return fmt.Errorf("exp: nil model at index %d", i)
+		}
+		if seen[m.Name()] {
+			return fmt.Errorf("exp: duplicate model name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
 	return nil
 }
 
@@ -108,10 +127,19 @@ func (s *Sweep) heuristics() []string {
 	return sched.Names()
 }
 
-// InstanceCount returns the number of (point, scenario, trial) instances,
-// not counting the heuristic dimension.
+// models returns the availability-model axis (the implicit Markov ground
+// truth when none is set).
+func (s *Sweep) models() []avail.Model {
+	if len(s.Models) > 0 {
+		return s.Models
+	}
+	return []avail.Model{avail.MarkovModel{}}
+}
+
+// InstanceCount returns the number of (model, point, scenario, trial)
+// instances, not counting the heuristic dimension.
 func (s *Sweep) InstanceCount() int {
-	return len(s.Ncoms) * len(s.Wmins) * s.Scenarios * s.Trials
+	return len(s.models()) * len(s.Ncoms) * len(s.Wmins) * s.Scenarios * s.Trials
 }
 
 // Point identifies one scenario draw within the sweep.
@@ -121,10 +149,14 @@ type Point struct {
 	Scenario int
 }
 
-// InstanceResult is the outcome of one (point, trial, heuristic) run.
+// InstanceResult is the outcome of one (model, point, trial, heuristic)
+// run.
 type InstanceResult struct {
-	Point     Point
-	Trial     int
+	Point Point
+	Trial int
+	// Model is the availability model's name ("markov" for the implicit
+	// default).
+	Model     string
 	Heuristic string
 	Makespan  int64
 	Failed    bool
@@ -162,6 +194,28 @@ func (s *Sweep) application(wmin int) app.Application {
 	}
 }
 
+// runInstance executes one simulation of the campaign. Model hooks run
+// arbitrary plugged-in code (e.g. a TraceModel panicking on a platform
+// size mismatch); a panic is converted into an error so the campaign
+// fails cleanly instead of crashing the worker pool.
+func runInstance(s *Sweep, model avail.Model, pt Point, trial int, h string) (res sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exp: model %s, point %+v, trial %d, heuristic %s: panic: %v",
+				model.Name(), pt, trial, h, p)
+		}
+	}()
+	return sim.Run(sim.Config{
+		Platform:     s.scenarioPlatform(pt),
+		App:          s.application(pt.Wmin),
+		Heuristic:    h,
+		Seed:         s.trialSeed(pt, trial),
+		Cap:          s.Cap,
+		InitialAllUp: s.InitialAllUp,
+		Model:        model,
+	})
+}
+
 // Run executes the campaign. Instances are distributed over a worker pool;
 // results are deterministic and order-independent. The optional progress
 // callback receives (completed, total) counts.
@@ -170,19 +224,23 @@ func Run(sweep Sweep, progress func(done, total int)) (*Result, error) {
 		return nil, err
 	}
 	heuristics := sweep.heuristics()
+	models := sweep.models()
 
 	type job struct {
+		model avail.Model
 		pt    Point
 		trial int
 		h     string
 	}
 	var jobs []job
-	for _, ncom := range sweep.Ncoms {
-		for _, wmin := range sweep.Wmins {
-			for sc := 0; sc < sweep.Scenarios; sc++ {
-				for tr := 0; tr < sweep.Trials; tr++ {
-					for _, h := range heuristics {
-						jobs = append(jobs, job{Point{ncom, wmin, sc}, tr, h})
+	for _, model := range models {
+		for _, ncom := range sweep.Ncoms {
+			for _, wmin := range sweep.Wmins {
+				for sc := 0; sc < sweep.Scenarios; sc++ {
+					for tr := 0; tr < sweep.Trials; tr++ {
+						for _, h := range heuristics {
+							jobs = append(jobs, job{model, Point{ncom, wmin, sc}, tr, h})
+						}
 					}
 				}
 			}
@@ -210,15 +268,7 @@ func Run(sweep Sweep, progress func(done, total int)) (*Result, error) {
 			defer done.Done()
 			for idx := range jobCh {
 				j := jobs[idx]
-				pl := sweep.scenarioPlatform(j.pt)
-				res, err := sim.Run(sim.Config{
-					Platform:     pl,
-					App:          sweep.application(j.pt.Wmin),
-					Heuristic:    j.h,
-					Seed:         sweep.trialSeed(j.pt, j.trial),
-					Cap:          sweep.Cap,
-					InitialAllUp: sweep.InitialAllUp,
-				})
+				res, err := runInstance(&sweep, j.model, j.pt, j.trial, j.h)
 				if err != nil {
 					errCh <- err
 					return
@@ -226,6 +276,7 @@ func Run(sweep Sweep, progress func(done, total int)) (*Result, error) {
 				results[idx] = InstanceResult{
 					Point:     j.pt,
 					Trial:     j.trial,
+					Model:     j.model.Name(),
 					Heuristic: j.h,
 					Makespan:  res.Makespan,
 					Failed:    res.Failed,
@@ -258,10 +309,16 @@ func Run(sweep Sweep, progress func(done, total int)) (*Result, error) {
 	default:
 	}
 
-	// Stable order: by point, trial, heuristic (jobs were generated in
-	// that order already; keep as-is but document determinism).
+	// Stable order: by model name, point, trial, heuristic. Jobs are
+	// generated point-major within each model of the Models slice, so
+	// this re-sorts the model dimension lexicographically; the key is a
+	// full total order, keeping Instances deterministic regardless of
+	// worker count or Models ordering.
 	sort.SliceStable(results, func(a, b int) bool {
 		ra, rb := results[a], results[b]
+		if ra.Model != rb.Model {
+			return ra.Model < rb.Model
+		}
 		if ra.Point != rb.Point {
 			if ra.Point.Ncom != rb.Point.Ncom {
 				return ra.Point.Ncom < rb.Point.Ncom

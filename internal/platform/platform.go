@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"tightsched/internal/avail"
 	"tightsched/internal/markov"
 	"tightsched/internal/rng"
 )
@@ -46,6 +47,12 @@ type Platform struct {
 	// Ncom is the master's bounded multi-port constraint: the maximum
 	// number of simultaneous worker communications (program or data).
 	Ncom int
+	// Model, when non-nil, is the ground-truth availability model the
+	// processors actually follow; the per-processor Avail matrices are
+	// then only the platform's nominal chains (what a Markov model of it
+	// would be). When nil the matrices themselves are ground truth
+	// (avail.MarkovModel, the paper's Section III.B assumption).
+	Model avail.Model
 }
 
 // Validate checks the platform's parameters.
@@ -75,6 +82,23 @@ func (pl *Platform) Matrices() []markov.Matrix {
 		ms[i] = p.Avail
 	}
 	return ms
+}
+
+// AvailModel returns the platform's ground-truth availability model:
+// Model when set, otherwise the paper's Markov chains.
+func (pl *Platform) AvailModel() avail.Model {
+	if pl.Model != nil {
+		return pl.Model
+	}
+	return avail.MarkovModel{}
+}
+
+// BelievedMatrices returns the per-processor Markov matrices the
+// Section V estimators should believe under the platform's availability
+// model: the nominal matrices themselves for Markov ground truth, fitted
+// ("flawed") matrices for model-violating ground truth.
+func (pl *Platform) BelievedMatrices() []markov.Matrix {
+	return pl.AvailModel().EstimatorMatrices(pl.Matrices())
 }
 
 // Speeds returns the w_q vector.

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"tightsched/internal/avail"
 	"tightsched/internal/markov"
 	"tightsched/internal/rng"
 )
@@ -159,5 +160,35 @@ func TestHomogeneous(t *testing.T) {
 		if p.Speed != 7 || p.Capacity != 2 {
 			t.Fatalf("unexpected processor %+v", p)
 		}
+	}
+}
+
+func TestAvailModelDefaultsToMarkov(t *testing.T) {
+	pl := Homogeneous(3, 1, 2, 2, markov.Uniform(0.95))
+	if name := pl.AvailModel().Name(); name != "markov" {
+		t.Fatalf("default model %q", name)
+	}
+	believed := pl.BelievedMatrices()
+	for q, m := range pl.Matrices() {
+		if believed[q] != m {
+			t.Fatalf("proc %d: believed %v != nominal %v", q, believed[q], m)
+		}
+	}
+}
+
+func TestAvailModelOverride(t *testing.T) {
+	pl := Homogeneous(2, 1, 2, 2, markov.Uniform(0.95))
+	model := avail.NewSemiMarkov(0.6)
+	model.CalibrationSlots = 2_000
+	pl.Model = model
+	if name := pl.AvailModel().Name(); name != "semimarkov" {
+		t.Fatalf("model %q", name)
+	}
+	believed := pl.BelievedMatrices()
+	if believed[0] == pl.Procs[0].Avail {
+		t.Fatal("semi-Markov believed matrices equal the nominal chain exactly")
+	}
+	if err := believed[0].Validate(); err != nil {
+		t.Fatal(err)
 	}
 }

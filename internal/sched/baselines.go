@@ -32,6 +32,10 @@ type staticRank struct {
 	env   *Env
 	name  string
 	score func(env *Env, q int) float64
+
+	ups    []int
+	ranked []int
+	speeds []int
 }
 
 // Name implements Heuristic.
@@ -43,12 +47,14 @@ func (h *staticRank) Decide(v *View) app.Assignment {
 		return v.Current
 	}
 	m := h.env.App.Tasks
-	ups := upWorkers(v.States)
+	h.ups = upWorkersInto(h.ups, v.States)
+	ups := h.ups
 	if capacityOf(h.env, ups) < m {
 		return nil
 	}
 	// Rank the UP workers by static score, best first; ties by index.
-	ranked := append([]int(nil), ups...)
+	ranked := append(h.ranked[:0], ups...)
+	h.ranked = ranked
 	sort.SliceStable(ranked, func(a, b int) bool {
 		sa, sb := h.score(h.env, ranked[a]), h.score(h.env, ranked[b])
 		if sa != sb {
@@ -57,7 +63,10 @@ func (h *staticRank) Decide(v *View) app.Assignment {
 		return ranked[a] < ranked[b]
 	})
 	asg := make(app.Assignment, h.env.Platform.Size())
-	speeds := h.env.Platform.Speeds()
+	if h.speeds == nil {
+		h.speeds = h.env.Platform.Speeds()
+	}
+	speeds := h.speeds
 	for task := 0; task < m; task++ {
 		// Among the ranked workers, place the task where it increases
 		// the workload least, scanning in rank order so equal-increase
@@ -87,9 +96,10 @@ func fastestScore(env *Env, q int) float64 {
 }
 
 // reliableScore ranks by the one-step probability of staying UP, the
-// simplest static availability statistic.
+// simplest static availability statistic. Like every heuristic input it
+// reads the believed matrix, not the ground-truth availability model.
 func reliableScore(env *Env, q int) float64 {
-	return env.Platform.Procs[q].Avail[markov.Up][markov.Up]
+	return env.believedMatrix(q)[markov.Up][markov.Up]
 }
 
 // buildExtended constructs an extension baseline, or returns nil if the

@@ -12,10 +12,20 @@ import (
 // iteration completed), and otherwise builds a configuration by assigning
 // the m tasks one at a time, each to the UP worker that optimizes the
 // heuristic's criterion over the partial configuration.
+//
+// The scratch fields are reused across Decide calls; heuristic instances
+// are therefore not safe for concurrent use (each simulation builds its
+// own, see Build).
 type incremental struct {
 	env  *Env
 	crit Criterion
 	name string
+
+	ups     []int
+	needs   []int // fresh comm need of each enrolled worker
+	expComm []float64
+	speeds  []int
+	se      *analytic.SetEval
 }
 
 // Name implements Heuristic.
@@ -26,30 +36,49 @@ func (h *incremental) Decide(v *View) app.Assignment {
 	if v.Current != nil {
 		return v.Current
 	}
-	return buildIncremental(h.env, v, h.crit)
+	return h.build(v)
 }
 
-// buildIncremental builds an assignment greedily. It returns nil when the
-// UP workers cannot host m tasks.
+// build builds an assignment greedily. It returns nil when the UP workers
+// cannot host m tasks.
 //
 // Cost: m assignment steps, each scoring at most p candidates. Scoring a
 // candidate takes one O(T) series pass for the compute estimate (through
 // the incremental SetEval) plus O(|S|) for the communication estimate.
-func buildIncremental(env *Env, v *View, crit Criterion) app.Assignment {
+// Only the returned assignment is allocated; everything else lives in the
+// heuristic's scratch buffers.
+func (h *incremental) build(v *View) app.Assignment {
+	env := h.env
 	m := env.App.Tasks
-	ups := upWorkers(v.States)
+	h.ups = upWorkersInto(h.ups, v.States)
+	ups := h.ups
 	if capacityOf(env, ups) < m {
 		return nil
 	}
 
 	p := env.Platform.Size()
-	speeds := env.Platform.Speeds()
+	if h.speeds == nil {
+		h.speeds = env.Platform.Speeds()
+	}
+	speeds := h.speeds
+	if cap(h.needs) < p {
+		h.needs = make([]int, p)
+		h.expComm = make([]float64, p)
+	}
+	needs, expComm := h.needs[:p], h.expComm[:p]
+	for i := range needs {
+		needs[i] = 0
+		expComm[i] = 0
+	}
+	if h.se == nil {
+		h.se = env.Analytic.NewSetEval()
+	} else {
+		h.se.Reset()
+	}
+	se := h.se
 	asg := make(app.Assignment, p)
-	se := env.Analytic.NewSetEval()
 
 	workload := 0
-	needs := make([]int, p)       // fresh comm need of each enrolled worker
-	expComm := make([]float64, p) // E^(Pq)(needs[q]) of each enrolled worker
 	totalNeed := 0
 
 	for task := 0; task < m; task++ {
@@ -60,7 +89,7 @@ func buildIncremental(env *Env, v *View, crit Criterion) app.Assignment {
 				continue
 			}
 			score := scoreCandidate(env, v, se, asg, q,
-				speeds, workload, needs, expComm, totalNeed, crit)
+				speeds, workload, needs, expComm, totalNeed, h.crit)
 			if score > bestScore {
 				bestScore = score
 				bestQ = q

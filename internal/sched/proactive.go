@@ -61,7 +61,7 @@ func (h *proactive) candidate(v *View) app.Assignment {
 	if h.cacheValid && h.cacheEpoch == v.RetentionEpoch && h.sameUp(v) {
 		return h.cacheAsg
 	}
-	cand := buildIncremental(h.env, v, h.base.crit)
+	cand := h.base.build(v)
 	if h.cacheUp == nil {
 		h.cacheUp = make([]bool, len(v.States))
 	}

@@ -10,6 +10,9 @@ import (
 // random UP worker with remaining capacity.
 type random struct {
 	env *Env
+
+	ups  []int
+	pool []int
 }
 
 // Name implements Heuristic.
@@ -21,14 +24,15 @@ func (h *random) Decide(v *View) app.Assignment {
 		return v.Current
 	}
 	m := h.env.App.Tasks
-	ups := upWorkers(v.States)
-	if capacityOf(h.env, ups) < m {
+	h.ups = upWorkersInto(h.ups, v.States)
+	if capacityOf(h.env, h.ups) < m {
 		return nil
 	}
 	asg := make(app.Assignment, h.env.Platform.Size())
 	// Draw among workers with remaining capacity; the pool shrinks as
-	// workers fill up.
-	pool := sortedCopy(ups)
+	// workers fill up. upWorkersInto yields increasing order, keeping
+	// draws deterministic for a given stream.
+	pool := append(h.pool[:0], h.ups...)
 	for task := 0; task < m; task++ {
 		i := h.env.Rand.IntN(len(pool))
 		q := pool[i]
@@ -37,5 +41,6 @@ func (h *random) Decide(v *View) app.Assignment {
 			pool = append(pool[:i], pool[i+1:]...)
 		}
 	}
+	h.pool = pool[:0]
 	return asg
 }

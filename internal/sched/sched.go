@@ -20,7 +20,6 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"tightsched/internal/analytic"
 	"tightsched/internal/app"
@@ -87,10 +86,17 @@ type Heuristic interface {
 }
 
 // Env bundles the immutable per-run context heuristics are built from.
+// Heuristics reason only over believed state: when the platform's
+// availability model is not Markov, Believed and Analytic carry the
+// fitted matrices of avail.Model.EstimatorMatrices, never the ground
+// truth.
 type Env struct {
 	Platform *platform.Platform
 	App      app.Application
-	// Analytic is the Section V estimator for the platform's chains.
+	// Believed holds the per-processor Markov matrices the heuristics
+	// should believe (the platform's nominal matrices when nil).
+	Believed []markov.Matrix
+	// Analytic is the Section V estimator over the believed matrices.
 	Analytic *analytic.Platform
 	// Rand is the stream randomized heuristics draw from (RANDOM).
 	Rand *rng.Stream
@@ -141,6 +147,18 @@ func (e *Env) validate() {
 	if len(e.Analytic.Procs) != e.Platform.Size() {
 		panic("sched: analytic platform size mismatch")
 	}
+	if e.Believed != nil && len(e.Believed) != e.Platform.Size() {
+		panic("sched: believed matrices size mismatch")
+	}
+}
+
+// believedMatrix returns the availability matrix heuristics should
+// believe for processor q.
+func (e *Env) believedMatrix(q int) markov.Matrix {
+	if e.Believed != nil {
+		return e.Believed[q]
+	}
+	return e.Platform.Procs[q].Avail
 }
 
 // Criterion is one of the paper's four configuration metrics.
@@ -299,21 +317,15 @@ func baseName(c Criterion) string {
 	panic("sched: bad base criterion")
 }
 
-// upWorkers returns the indices of UP processors, in increasing order.
-func upWorkers(states []markov.State) []int {
-	var ups []int
+// upWorkersInto appends the indices of UP processors, in increasing
+// order, to dst[:0]. Heuristics own a scratch slice and pass it here so
+// the per-slot decision loop does not allocate.
+func upWorkersInto(dst []int, states []markov.State) []int {
+	dst = dst[:0]
 	for q, s := range states {
 		if s == markov.Up {
-			ups = append(ups, q)
+			dst = append(dst, q)
 		}
 	}
-	return ups
-}
-
-// sortedCopy returns a sorted copy of xs (used to stabilize outputs).
-func sortedCopy(xs []int) []int {
-	c := make([]int, len(xs))
-	copy(c, xs)
-	sort.Ints(c)
-	return c
+	return dst
 }

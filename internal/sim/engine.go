@@ -5,6 +5,7 @@ import (
 
 	"tightsched/internal/analytic"
 	"tightsched/internal/app"
+	"tightsched/internal/avail"
 	"tightsched/internal/markov"
 	"tightsched/internal/platform"
 	"tightsched/internal/rng"
@@ -40,7 +41,12 @@ type Config struct {
 	// InitialAllUp starts every processor UP instead of drawing initial
 	// states from the stationary distribution.
 	InitialAllUp bool
-	// Provider overrides the Markov availability sampler (scripted runs).
+	// Model overrides the platform's availability model for this run.
+	// When both Model and Platform.Model are nil the processors' Markov
+	// matrices are ground truth (the paper's assumption).
+	Model avail.Model
+	// Provider overrides the model's per-trial provider entirely
+	// (scripted runs); believed matrices still come from the model.
 	Provider StateProvider
 	// Recorder, when non-nil, records a per-slot trace.
 	Recorder *trace.Recorder
@@ -148,10 +154,21 @@ func Run(cfg Config) (Result, error) {
 	if eps == 0 {
 		eps = DefaultEps
 	}
+	model := cfg.Model
+	if model == nil {
+		model = cfg.Platform.AvailModel()
+	}
+	base := cfg.Platform.Matrices()
+	believed := model.EstimatorMatrices(base)
+	if len(believed) != cfg.Platform.Size() {
+		return Result{}, fmt.Errorf("sim: model %s believes %d processors, platform has %d",
+			model.Name(), len(believed), cfg.Platform.Size())
+	}
 	env := &sched.Env{
 		Platform: cfg.Platform,
 		App:      cfg.App,
-		Analytic: analytic.NewPlatform(cfg.Platform.Matrices(), eps),
+		Believed: believed,
+		Analytic: analytic.NewPlatform(believed, eps),
 		Rand:     rng.NewKeyed(cfg.Seed, 0x7a4d),
 		RenewalE: cfg.RenewalE,
 	}
@@ -165,7 +182,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	prov := cfg.Provider
 	if prov == nil {
-		prov = newMarkovProvider(cfg.Platform, cfg.Seed, cfg.InitialAllUp)
+		prov = model.Provider(base, cfg.Seed, cfg.InitialAllUp)
 	}
 	capSlots := cfg.Cap
 	if capSlots == 0 {

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"tightsched/internal/app"
+	"tightsched/internal/avail"
+	"tightsched/internal/markov"
+	"tightsched/internal/platform"
+)
+
+// reclaimedTrace builds a trace model in which every processor is
+// permanently RECLAIMED.
+func reclaimedTrace(t *testing.T, p int) *avail.TraceModel {
+	t.Helper()
+	script := make([]string, p)
+	for q := range script {
+		script[q] = strings.Repeat("r", 4)
+	}
+	tm, err := avail.NewTraceModel("reclaimed", script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+// TestPlatformModelIsGroundTruth attaches a permanently-RECLAIMED trace
+// model to a platform whose nominal matrices say "always UP": the run
+// must idle to the cap, proving the engine executes the model, not the
+// matrices.
+func TestPlatformModelIsGroundTruth(t *testing.T) {
+	pl := platform.Homogeneous(3, 1, 3, 3, markov.AlwaysUp())
+	pl.Model = reclaimedTrace(t, 3)
+	res, err := Run(Config{
+		Platform:  pl,
+		App:       app.Application{Tasks: 2, Tprog: 1, Tdata: 1, Iterations: 1},
+		Heuristic: "IE",
+		Cap:       50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.IdleSlots != 50 {
+		t.Fatalf("run against reclaimed ground truth: %+v", res)
+	}
+}
+
+// TestConfigModelOverridesPlatformModel gives the platform a hostile
+// model but overrides it per run with Markov ground truth on always-UP
+// chains: the run must now complete.
+func TestConfigModelOverridesPlatformModel(t *testing.T) {
+	pl := platform.Homogeneous(3, 1, 3, 3, markov.AlwaysUp())
+	pl.Model = reclaimedTrace(t, 3)
+	res, err := Run(Config{
+		Platform:  pl,
+		App:       app.Application{Tasks: 2, Tprog: 1, Tdata: 1, Iterations: 1},
+		Heuristic: "IE",
+		Model:     avail.MarkovModel{},
+		Cap:       50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("markov override did not take effect: %+v", res)
+	}
+}
+
+// TestModelSizeMismatchErrors rejects a model whose believed matrices do
+// not cover the platform.
+func TestModelSizeMismatchErrors(t *testing.T) {
+	pl := platform.Homogeneous(3, 1, 3, 3, markov.Uniform(0.95))
+	tm, err := avail.NewTraceModel("short", []string{"uu", "uu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// The trace model panics on the size mismatch before the
+		// engine's own check; either failure mode is acceptable, but it
+		// must not run.
+		recover()
+	}()
+	res, err := Run(Config{
+		Platform:  pl,
+		App:       app.Application{Tasks: 2, Tprog: 1, Tdata: 1, Iterations: 1},
+		Heuristic: "IE",
+		Model:     tm,
+		Cap:       50,
+	})
+	if err == nil {
+		t.Fatalf("mismatched model accepted: %+v", res)
+	}
+}

@@ -8,118 +8,34 @@
 package sim
 
 import (
-	"fmt"
-
+	"tightsched/internal/avail"
 	"tightsched/internal/markov"
-	"tightsched/internal/platform"
-	"tightsched/internal/rng"
 )
+
+// The engine consumes availability through the avail subsystem: models
+// (avail.Model) describe how availability evolves and are resolved into
+// per-trial providers at run setup; the aliases below keep the sim-level
+// names that tests, examples and external callers use.
 
 // StateProvider feeds the engine the availability state of every
 // processor, slot by slot. The engine calls States with consecutive slot
 // values starting at 0. Providers let tests and examples script exact
 // availability patterns (e.g. the paper's Figure 1) while experiments use
-// the Markov provider.
-type StateProvider interface {
-	States(slot int64, dst []markov.State)
-}
+// an avail.Model.
+type StateProvider = avail.StateProvider
 
 // ProviderFunc adapts a function to the StateProvider interface, so
-// callers can plug arbitrary availability processes (e.g. the semi-Markov
-// traces of the non-Markovian extension) into the engine.
-type ProviderFunc func(slot int64, dst []markov.State)
-
-// States implements StateProvider.
-func (f ProviderFunc) States(slot int64, dst []markov.State) { f(slot, dst) }
-
-// markovProvider samples each processor's chain independently, exactly as
-// Section III.B prescribes. Availability is independent of scheduling
-// decisions, so two heuristics run with the same seed see the same
-// realization.
-type markovProvider struct {
-	samplers []*markov.Sampler
-}
-
-// newMarkovProvider builds per-processor samplers from a trial seed. When
-// allUp is false, initial states are drawn from each chain's stationary
-// distribution (the platform is in steady state when the application
-// arrives); when true, every processor starts UP.
-func newMarkovProvider(pl *platform.Platform, seed uint64, allUp bool) *markovProvider {
-	initStream := rng.NewKeyed(seed, 0x1217)
-	mp := &markovProvider{samplers: make([]*markov.Sampler, pl.Size())}
-	for q, proc := range pl.Procs {
-		start := markov.Up
-		if !allUp {
-			pi := proc.Avail.Stationary()
-			start = markov.State(initStream.Categorical(pi[:]))
-		}
-		mp.samplers[q] = markov.NewSampler(proc.Avail, start, rng.NewKeyed(seed, 0x5107, uint64(q)))
-	}
-	return mp
-}
-
-// States implements StateProvider.
-func (mp *markovProvider) States(slot int64, dst []markov.State) {
-	for q, s := range mp.samplers {
-		if slot == 0 {
-			dst[q] = s.State()
-		} else {
-			dst[q] = s.Step()
-		}
-	}
-}
+// callers can plug arbitrary availability processes into the engine.
+type ProviderFunc = avail.ProviderFunc
 
 // ScriptProvider replays a fixed availability script: Script[t][q] is the
 // state of processor q at slot t. Slots beyond the script reuse its last
-// row. It implements StateProvider and is exported for tests, examples and
-// replaying recorded traces.
-type ScriptProvider struct {
-	Script [][]markov.State
-}
-
-// States implements StateProvider.
-func (sp *ScriptProvider) States(slot int64, dst []markov.State) {
-	if len(sp.Script) == 0 {
-		panic("sim: empty script")
-	}
-	row := sp.Script[len(sp.Script)-1]
-	if slot < int64(len(sp.Script)) {
-		row = sp.Script[slot]
-	}
-	if len(row) != len(dst) {
-		panic(fmt.Sprintf("sim: script row has %d states, platform has %d", len(row), len(dst)))
-	}
-	copy(dst, row)
-}
+// row.
+type ScriptProvider = avail.ScriptProvider
 
 // ParseScript converts a compact textual availability script into rows:
 // one string per processor, one character per slot, 'u' = UP,
 // 'r' = RECLAIMED, 'd' = DOWN. All strings must have equal length.
 func ParseScript(perProc []string) ([][]markov.State, error) {
-	if len(perProc) == 0 {
-		return nil, fmt.Errorf("sim: empty script")
-	}
-	n := len(perProc[0])
-	rows := make([][]markov.State, n)
-	for t := range rows {
-		rows[t] = make([]markov.State, len(perProc))
-	}
-	for q, s := range perProc {
-		if len(s) != n {
-			return nil, fmt.Errorf("sim: processor %d script has length %d, want %d", q, len(s), n)
-		}
-		for t := 0; t < n; t++ {
-			switch s[t] {
-			case 'u', 'U':
-				rows[t][q] = markov.Up
-			case 'r', 'R':
-				rows[t][q] = markov.Reclaimed
-			case 'd', 'D':
-				rows[t][q] = markov.Down
-			default:
-				return nil, fmt.Errorf("sim: processor %d slot %d: unknown state %q", q, t, s[t])
-			}
-		}
-	}
-	return rows, nil
+	return avail.ParseScript(perProc)
 }

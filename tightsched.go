@@ -14,8 +14,12 @@
 //   - the Section V Markov-chain estimates of success probability and
 //     expected completion time,
 //   - a slot-synchronous discrete-event simulator implementing the
-//     Section III execution model, and
-//   - the Section VII experiment harness (Tables I-II, Figure 2).
+//     Section III execution model,
+//   - pluggable availability models (the paper's Markov chains, the
+//     Section VII.B semi-Markov future-work model, recorded-trace
+//     replay), and
+//   - the Section VII experiment harness (Tables I-II, Figure 2, and the
+//     cross-model Table III).
 //
 // Quickstart:
 //
@@ -28,6 +32,7 @@ package tightsched
 
 import (
 	"tightsched/internal/app"
+	"tightsched/internal/avail"
 	"tightsched/internal/core"
 	"tightsched/internal/exp"
 	"tightsched/internal/markov"
@@ -63,6 +68,49 @@ const (
 	Reclaimed = markov.Reclaimed
 	Down      = markov.Down
 )
+
+// Availability-model types (see internal/avail): the ground truth a
+// simulation executes is pluggable, while heuristics always reason over
+// the matrices the model tells them to believe.
+type (
+	// AvailabilityModel is the pluggable ground-truth availability
+	// process, selected per platform (Platform.Model) or per run
+	// (Options.Model).
+	AvailabilityModel = avail.Model
+	// MarkovModel is the paper's Section III.B model (the default).
+	MarkovModel = avail.MarkovModel
+	// SemiMarkovModel is the paper's Section VII.B future-work model:
+	// non-memoryless holding times with fitted believed matrices.
+	SemiMarkovModel = avail.SemiMarkovModel
+	// TraceModel replays a recorded availability log with believed
+	// matrices fitted from the log.
+	TraceModel = avail.TraceModel
+	// HoldingSpec configures one state's holding-time distribution in a
+	// derived SemiMarkovModel.
+	HoldingSpec = avail.HoldingSpec
+	// StateProvider feeds a simulation raw availability states slot by
+	// slot (scripted runs; models subsume it for everything else).
+	StateProvider = avail.StateProvider
+)
+
+// NewSemiMarkovModel returns the standard heavy-tailed semi-Markov model:
+// Weibull UP holding times with the given shape (< 1 is the heavy-tailed
+// desktop-grid regime).
+func NewSemiMarkovModel(upShape float64) *SemiMarkovModel {
+	return avail.NewSemiMarkov(upShape)
+}
+
+// NewTraceModel parses a compact textual availability script ('u', 'r',
+// 'd'; one string per processor) into a replay model.
+func NewTraceModel(label string, perProc []string) (*TraceModel, error) {
+	return avail.NewTraceModel(label, perProc)
+}
+
+// AvailabilityModels returns the names accepted by ModelByName.
+func AvailabilityModels() []string { return avail.BuiltinNames() }
+
+// ModelByName returns a fresh built-in availability model by name.
+func ModelByName(name string) (AvailabilityModel, error) { return avail.Builtin(name) }
 
 // Simulation types.
 type (

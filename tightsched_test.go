@@ -104,3 +104,79 @@ func TestFacadeDefaultCap(t *testing.T) {
 		t.Fatalf("default cap %d", tightsched.DefaultCap)
 	}
 }
+
+func TestFacadeAvailabilityModels(t *testing.T) {
+	names := tightsched.AvailabilityModels()
+	if len(names) < 3 {
+		t.Fatalf("model names %v", names)
+	}
+	for _, name := range names {
+		m, err := tightsched.ModelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != name {
+			t.Fatalf("ModelByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := tightsched.ModelByName("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+// TestFacadeNonMarkovRun drives a semi-Markov ground truth through the
+// façade: Options.Model selects the model, the heuristics believe its
+// fitted matrices, and the run still completes.
+func TestFacadeNonMarkovRun(t *testing.T) {
+	sc := tightsched.PaperScenario(4, 10, 1, 5)
+	model := tightsched.NewSemiMarkovModel(0.8)
+	model.CalibrationSlots = 2_000
+	res, err := tightsched.Run(sc, "Y-IE", tightsched.Options{Seed: 2, Cap: 200_000, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.Completed != 10 {
+		t.Fatalf("non-Markov run: %+v", res)
+	}
+	// The same seed under Markov ground truth is a different realization.
+	ref, err := tightsched.Run(sc, "Y-IE", tightsched.Options{Seed: 2, Cap: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Makespan == res.Makespan && ref.Restarts == res.Restarts {
+		t.Fatalf("semi-Markov realization identical to Markov: %+v", res)
+	}
+}
+
+// TestFacadeSweepNonMarkov is the acceptance path at façade level: a
+// SemiMarkovModel campaign runs through RunSweep and renders via
+// FormatTable.
+func TestFacadeSweepNonMarkov(t *testing.T) {
+	sweep := tightsched.QuickSweep(5)
+	sweep.Wmins = []int{1}
+	sweep.Ncoms = []int{10}
+	sweep.Scenarios = 1
+	sweep.Trials = 1
+	sweep.Heuristics = []string{"IE", "RANDOM"}
+	sweep.Cap = 50000
+	model := tightsched.NewSemiMarkovModel(0.6)
+	model.CalibrationSlots = 2_000
+	sweep.Models = []tightsched.AvailabilityModel{model}
+	res, err := tightsched.RunSweep(sweep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Table("IE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tightsched.FormatTable(rows)
+	if !strings.Contains(out, "RANDOM") {
+		t.Fatalf("table:\n%s", out)
+	}
+	for _, inst := range res.Instances {
+		if inst.Model != "semimarkov" {
+			t.Fatalf("instance model %q", inst.Model)
+		}
+	}
+}
