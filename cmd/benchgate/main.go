@@ -1,0 +1,221 @@
+// Command benchgate is the CI performance-regression gate: it parses
+// `go test -bench` output, writes the measurements as JSON (the BENCH
+// artifact CI uploads per run), and compares them against a committed
+// baseline, failing on allocation regressions.
+//
+// Allocations — not nanoseconds — are what is gated: allocs/op is exact
+// and machine-independent, so a shared-runner CI can enforce it tightly,
+// while ns/op is recorded in the JSON for humans but never gated.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkDecideAllocations -benchmem -benchtime 1000x . | \
+//	    go run ./cmd/benchgate -baseline ci/bench_baseline.json -out BENCH_123.json
+//
+//	# refresh the committed baseline after an intentional perf change:
+//	go test -run '^$' -bench BenchmarkDecideAllocations -benchmem -benchtime 1000x . | \
+//	    go run ./cmd/benchgate -write-baseline ci/bench_baseline.json
+//
+// Flags: -input reads a file instead of stdin, -gate restricts which
+// benchmarks are enforced (default ^BenchmarkDecideAllocations/), and
+// -max-regress sets the allowed allocs/op growth in percent (default 20).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's parsed figures. NsPerOp is informational
+// (machine-dependent); AllocsPerOp is the gated quantity.
+type Measurement struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_<run>.json artifact schema (and the baseline's).
+type Report struct {
+	Go         string                 `json:"go"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		input         = flag.String("input", "", "bench output file (default: stdin)")
+		baseline      = flag.String("baseline", "", "committed baseline JSON to gate against")
+		out           = flag.String("out", "", "write current measurements to this JSON file")
+		writeBaseline = flag.String("write-baseline", "", "write current measurements as a new baseline and exit")
+		gate          = flag.String("gate", "^BenchmarkDecideAllocations/", "regexp of benchmark names to enforce")
+		maxRegress    = flag.Float64("max-regress", 20, "allowed allocs/op growth over baseline, percent")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := parseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input (did the bench run crash?)"))
+	}
+
+	if *writeBaseline != "" {
+		if err := writeJSON(*writeBaseline, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote baseline %s (%d benchmarks)\n", *writeBaseline, len(report.Benchmarks))
+		return
+	}
+	if *out != "" {
+		if err := writeJSON(*out, report); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	}
+	if *baseline == "" {
+		return
+	}
+
+	base, err := readJSON(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fatal(fmt.Errorf("bad -gate: %w", err))
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, name := range names {
+		if !gateRe.MatchString(name) {
+			continue
+		}
+		want := base.Benchmarks[name]
+		got, ok := report.Benchmarks[name]
+		if !ok {
+			fmt.Printf("FAIL %s: in baseline but not measured (renamed or deleted? refresh the baseline)\n", name)
+			failures++
+			continue
+		}
+		limit := want.AllocsPerOp * (1 + *maxRegress/100)
+		switch {
+		case got.AllocsPerOp > limit:
+			fmt.Printf("FAIL %s: %.1f allocs/op, baseline %.1f (limit %.1f, +%.0f%%)\n",
+				name, got.AllocsPerOp, want.AllocsPerOp, limit, *maxRegress)
+			failures++
+		case got.AllocsPerOp < want.AllocsPerOp:
+			fmt.Printf("ok   %s: %.1f allocs/op, improved from baseline %.1f — consider refreshing the baseline\n",
+				name, got.AllocsPerOp, want.AllocsPerOp)
+		default:
+			fmt.Printf("ok   %s: %.1f allocs/op (baseline %.1f)\n", name, got.AllocsPerOp, want.AllocsPerOp)
+		}
+	}
+	for name := range report.Benchmarks {
+		if gateRe.MatchString(name) {
+			if _, ok := base.Benchmarks[name]; !ok {
+				fmt.Printf("note %s: not in baseline (new benchmark; refresh the baseline to gate it)\n", name)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d allocation regression(s) beyond %.0f%%\n", failures, *maxRegress)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches the name column of a testing benchmark result line.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?$`)
+
+// parseBench extracts measurements from `go test -bench` output. A result
+// line is "name iterations value unit [value unit ...]"; the GOMAXPROCS
+// suffix ("-8") is stripped from names so runs from machines with
+// different core counts compare. Custom metrics (b.ReportMetric) are
+// ignored; ns/op, B/op and allocs/op are kept.
+func parseBench(r io.Reader) (*Report, error) {
+	report := &Report{Go: runtime.Version(), Benchmarks: map[string]Measurement{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(fields[0])
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		meas := Measurement{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				meas.NsPerOp = v
+			case "B/op":
+				meas.BytesPerOp = v
+			case "allocs/op":
+				meas.AllocsPerOp = v
+			}
+		}
+		report.Benchmarks[name] = meas
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+func readJSON(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeJSON(path string, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

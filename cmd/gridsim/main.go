@@ -33,7 +33,7 @@ func main() {
 		iterations = flag.Int("iterations", 10, "iterations to complete")
 		seed       = flag.Uint64("seed", 42, "scenario seed (platform draw)")
 		trial      = flag.Uint64("trial", 1, "trial seed (availability realization)")
-		cap        = flag.Int64("cap", 1_000_000, "failure cap in slots")
+		capSlots   = flag.Int64("cap", 1_000_000, "failure cap in slots")
 		allUp      = flag.Bool("all-up", false, "start all processors UP")
 		showTrace  = flag.Bool("trace", false, "print the execution trace (Figure 1 notation)")
 		compare    = flag.Bool("compare", false, "run all 17 heuristics and summarize")
@@ -53,7 +53,7 @@ func main() {
 	sc.App.Iterations = *iterations
 
 	if *compare {
-		sums, err := core.Compare(sc, nil, *trials, *trial, core.Options{Cap: *cap, InitialAllUp: *allUp})
+		sums, err := core.Compare(sc, nil, *trials, *trial, core.Options{Cap: *capSlots, InitialAllUp: *allUp})
 		if err != nil {
 			fatal(err)
 		}
@@ -65,7 +65,7 @@ func main() {
 			return a.Makespan.Mean < b.Makespan.Mean
 		})
 		fmt.Printf("scenario: m=%d ncom=%d wmin=%d seed=%d, %d trials, cap=%d\n\n",
-			*m, *ncom, *wmin, *seed, *trials, *cap)
+			*m, *ncom, *wmin, *seed, *trials, *capSlots)
 		fmt.Printf("%-10s %6s %12s %12s %10s %10s\n",
 			"heuristic", "fails", "mean", "median", "restarts", "reconfigs")
 		for _, s := range sums {
@@ -77,7 +77,7 @@ func main() {
 	}
 
 	var rec *trace.Recorder
-	opt := core.Options{Seed: *trial, Cap: *cap, InitialAllUp: *allUp}
+	opt := core.Options{Seed: *trial, Cap: *capSlots, InitialAllUp: *allUp}
 	if *showTrace {
 		rec = &trace.Recorder{}
 		opt.Recorder = rec

@@ -9,29 +9,58 @@
 //	-mode greedy   compare the greedy heuristic against the exact solver
 //	-mode reduce   demonstrate the Theorem 4.1 reduction on random ENCD
 //	               instances, verifying equisatisfiability
+//
+// The greedy/reduce trial loops derive every trial's instance from a
+// per-trial seed, so big batches are journaled, resumable and shardable
+// exactly like cmd/tables campaigns: -journal streams per-trial outcomes
+// to an append-only JSONL file, -resume skips recorded trials, and
+// -shard i/n runs the trials congruent to i mod n (0-based) — n CI jobs
+// jointly cover the batch disjointly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"tightsched/internal/exp"
 	"tightsched/internal/offline"
 	"tightsched/internal/rng"
 )
 
 func main() {
 	var (
-		mode   = flag.String("mode", "solve", "solve | greedy | reduce")
-		p      = flag.Int("p", 12, "processors")
-		n      = flag.Int("n", 30, "time-slots")
-		m      = flag.Int("m", 4, "tasks")
-		w      = flag.Int("w", 5, "per-task time in slots")
-		pUp    = flag.Float64("pup", 0.6, "per-slot UP probability")
-		seed   = flag.Uint64("seed", 1, "instance seed")
-		trials = flag.Int("trials", 50, "instances for greedy/reduce modes")
+		mode      = flag.String("mode", "solve", "solve | greedy | reduce")
+		p         = flag.Int("p", 12, "processors")
+		n         = flag.Int("n", 30, "time-slots")
+		m         = flag.Int("m", 4, "tasks")
+		w         = flag.Int("w", 5, "per-task time in slots")
+		pUp       = flag.Float64("pup", 0.6, "per-slot UP probability")
+		seed      = flag.Uint64("seed", 1, "instance seed")
+		trials    = flag.Int("trials", 50, "instances for greedy/reduce modes")
+		journal   = flag.String("journal", "", "stream per-trial outcomes to this append-only file (greedy/reduce)")
+		resume    = flag.Bool("resume", false, "skip trials already recorded in -journal")
+		shardSpec = flag.String("shard", "", "run one slice i/n of the trials (0-based), e.g. -shard 0/3")
 	)
 	flag.Parse()
+
+	var shard exp.Shard
+	if *shardSpec != "" {
+		var err error
+		if shard, err = exp.ParseShard(*shardSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "offline:", err)
+			os.Exit(2)
+		}
+	}
+	if *mode == "solve" && (*journal != "" || *resume || *shardSpec != "") {
+		fmt.Fprintln(os.Stderr, "offline: -journal/-resume/-shard apply to the greedy/reduce trial loops")
+		os.Exit(2)
+	}
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "offline: -resume needs -journal")
+		os.Exit(2)
+	}
 
 	stream := rng.New(*seed)
 	switch *mode {
@@ -56,46 +85,82 @@ func main() {
 		}
 
 	case "greedy":
-		exact, greedy := 0, 0
+		tj, err := openTrialJournal(*journal, *resume, trialHeader{
+			V: 1, Mode: "greedy", P: *p, N: *n, M: *m, W: *w,
+			PUp: *pUp, Seed: *seed, Trials: *trials, Shard: shard.String(),
+		})
+		check(err)
+		exact, greedy, covered := 0, 0, 0
 		for i := 0; i < *trials; i++ {
-			in := randomInstance(stream, *p, *n, *m, *w, *pUp)
-			if _, ok, err := offline.SolveUnit(in); check(err) == nil && ok {
+			if !shard.Covers(i) {
+				continue
+			}
+			covered++
+			rec, ok := tj.done[i]
+			if !ok {
+				ts := rng.NewKeyed(*seed, uint64(i))
+				in := randomInstance(ts, *p, *n, *m, *w, *pUp)
+				_, exOK, err := offline.SolveUnit(in)
+				check(err)
+				_, grOK, err := offline.GreedyUnit(in)
+				check(err)
+				rec = trialRecord{Trial: i, A: exOK, B: grOK}
+				check(tj.append(rec))
+			}
+			if rec.A {
 				exact++
 			}
-			if _, ok, err := offline.GreedyUnit(in); check(err) == nil && ok {
+			if rec.B {
 				greedy++
 			}
 		}
-		fmt.Printf("over %d random instances (p=%d n=%d m=%d w=%d P(UP)=%.2f):\n",
-			*trials, *p, *n, *m, *w, *pUp)
+		check(tj.close())
+		fmt.Printf("over %d random instances (p=%d n=%d m=%d w=%d P(UP)=%.2f%s):\n",
+			covered, *p, *n, *m, *w, *pUp, shardNote(shard))
 		fmt.Printf("exact solver : %d satisfiable\n", exact)
 		fmt.Printf("greedy       : %d solved (%.0f%% of satisfiable)\n",
 			greedy, 100*float64(greedy)/max1(float64(exact)))
 		fmt.Println("\nthe gap is the price of polynomial time: the problem is NP-hard (Theorem 4.1)")
 
 	case "reduce":
-		agree := 0
-		sat := 0
+		tj, err := openTrialJournal(*journal, *resume, trialHeader{
+			V: 1, Mode: "reduce", P: *p, N: *n, M: *m, W: *w,
+			PUp: *pUp, Seed: *seed, Trials: *trials, Shard: shard.String(),
+		})
+		check(err)
+		agree, sat, covered := 0, 0, 0
 		for i := 0; i < *trials; i++ {
-			g := offline.RandomBipartite(5, 7, stream.Uniform(0.3, 0.9), stream)
-			a, b := stream.IntRange(1, 4), stream.IntRange(1, 5)
-			_, _, encdOK, err := offline.SolveENCD(g, a, b)
-			check(err)
-			in, err := offline.ReduceENCDToUnit(g, a, b)
-			check(err)
-			_, schedOK, err := offline.SolveUnit(in)
-			check(err)
-			if encdOK == schedOK {
+			if !shard.Covers(i) {
+				continue
+			}
+			covered++
+			rec, ok := tj.done[i]
+			if !ok {
+				ts := rng.NewKeyed(*seed, uint64(i))
+				g := offline.RandomBipartite(5, 7, ts.Uniform(0.3, 0.9), ts)
+				a, b := ts.IntRange(1, 4), ts.IntRange(1, 5)
+				_, _, encdOK, err := offline.SolveENCD(g, a, b)
+				check(err)
+				in, err := offline.ReduceENCDToUnit(g, a, b)
+				check(err)
+				_, schedOK, err := offline.SolveUnit(in)
+				check(err)
+				rec = trialRecord{Trial: i, A: encdOK, B: schedOK}
+				check(tj.append(rec))
+			}
+			if rec.A == rec.B {
 				agree++
 			}
-			if encdOK {
+			if rec.A {
 				sat++
 			}
 		}
+		check(tj.close())
 		fmt.Printf("Theorem 4.1(i): ENCD ≤p OFFLINE-COUPLED(µ=1)\n")
-		fmt.Printf("over %d random ENCD instances (%d satisfiable): reduction preserved\n", *trials, sat)
-		fmt.Printf("satisfiability on %d/%d instances\n", agree, *trials)
-		if agree != *trials {
+		fmt.Printf("over %d random ENCD instances (%d satisfiable)%s: reduction preserved\n",
+			covered, sat, shardNote(shard))
+		fmt.Printf("satisfiability on %d/%d instances\n", agree, covered)
+		if agree != covered {
 			fmt.Println("REDUCTION BROKEN — this is a bug")
 			os.Exit(1)
 		}
@@ -123,6 +188,103 @@ func check(err error) error {
 		os.Exit(1)
 	}
 	return nil
+}
+
+func shardNote(sh exp.Shard) string {
+	if sh.Count <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(", shard %s", sh)
+}
+
+// trialRecord is one journaled trial outcome. A/B are mode-specific: for
+// greedy, A = exact solver satisfiable, B = greedy solved; for reduce,
+// A = ENCD satisfiable, B = reduced schedule satisfiable.
+type trialRecord struct {
+	Trial int  `json:"trial"`
+	A     bool `json:"a"`
+	B     bool `json:"b"`
+}
+
+// trialHeader stamps the batch a journal belongs to: per-trial seeds
+// derive from (Seed, trial), so any two runs with equal headers produce
+// identical per-trial outcomes and may share a journal.
+type trialHeader struct {
+	V      int     `json:"v"`
+	Mode   string  `json:"mode"`
+	P      int     `json:"p"`
+	N      int     `json:"n"`
+	M      int     `json:"m"`
+	W      int     `json:"w"`
+	PUp    float64 `json:"pup"`
+	Seed   uint64  `json:"seed"`
+	Trials int     `json:"trials"`
+	Shard  string  `json:"shard"`
+}
+
+// trialJournal is the trial-loop analogue of exp.Journal, built on the
+// same crash-tolerant JSONL substrate (exp.ReadJSONL and friends): a
+// header line, then one line per trial, flushed per line, tolerating a
+// crash-torn tail on reopen. An empty path makes it a no-op.
+type trialJournal struct {
+	w    *exp.JSONLWriter
+	done map[int]trialRecord
+}
+
+func openTrialJournal(path string, resume bool, hdr trialHeader) (*trialJournal, error) {
+	tj := &trialJournal{done: map[int]trialRecord{}}
+	if path == "" {
+		return tj, nil
+	}
+	headerLine, records, validLen, err := exp.ReadJSONL(path)
+	switch {
+	case err == nil:
+		if !resume {
+			return nil, fmt.Errorf("journal %s exists; pass -resume to continue it", path)
+		}
+		var got trialHeader
+		if err := json.Unmarshal(headerLine, &got); err != nil {
+			return nil, fmt.Errorf("journal %s header: %w", path, err)
+		}
+		if got != hdr {
+			return nil, fmt.Errorf("journal %s records a different batch (%+v, want %+v)", path, got, hdr)
+		}
+		for i, line := range records {
+			var rec trialRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, fmt.Errorf("journal %s line %d: %w", path, i+2, err)
+			}
+			tj.done[rec.Trial] = rec
+		}
+		if tj.w, err = exp.OpenJSONLAppend(path, validLen); err != nil {
+			return nil, err
+		}
+		return tj, nil
+	case os.IsNotExist(err):
+		if tj.w, err = exp.CreateJSONL(path, hdr); err != nil {
+			return nil, err
+		}
+		return tj, nil
+	default:
+		return nil, err
+	}
+}
+
+func (tj *trialJournal) append(rec trialRecord) error {
+	if tj.w != nil {
+		if err := tj.w.Append(rec); err != nil {
+			return err
+		}
+	}
+	tj.done[rec.Trial] = rec
+	return nil
+}
+
+func (tj *trialJournal) close() error {
+	if tj.w == nil {
+		return nil
+	}
+	return tj.w.Close()
 }
 
 func max1(x float64) float64 {

@@ -22,6 +22,18 @@
 //	tables -table 3 -models markov,semimarkov,lognormal
 //	tables -figure 2
 //	tables -table 1 -scale full
+//
+// Long campaigns are journaled, resumable and shardable: -journal streams
+// every completed instance to an append-only file, -resume continues an
+// interrupted journal (only missing instances re-run; results are
+// bit-identical to an uninterrupted run), -shard i/n runs one of n
+// disjoint slices (0-based), and -merge recombines shard journals into
+// the full tables without re-running anything:
+//
+//	tables -table 2 -scale full -journal t2.journal     # crash-safe
+//	tables -table 2 -scale full -journal t2.journal -resume
+//	tables -table 2 -scale full -journal t2-0.journal -shard 0/3   # CI job 0
+//	tables -table 2 -merge t2-0.journal,t2-1.journal,t2-2.journal
 package main
 
 import (
@@ -49,6 +61,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel simulations (default NumCPU)")
 		seed      = flag.Uint64("seed", 0, "override master seed")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		journal   = flag.String("journal", "", "stream completed instances to this append-only journal file")
+		resume    = flag.Bool("resume", false, "continue an interrupted -journal file (skip recorded instances)")
+		shardSpec = flag.String("shard", "", "run one slice i/n of the instance grid (0-based), e.g. -shard 0/3")
+		merge     = flag.String("merge", "", "comma-separated shard journals to recombine and aggregate (no simulation)")
 	)
 	flag.Parse()
 
@@ -128,26 +144,101 @@ func main() {
 		}
 	}
 
-	total := sweep.InstanceCount() * 17
-	fmt.Printf("# sweep: m=%d ncom=%v wmin=%v scenarios=%d trials=%d cap=%d models=%v (%d simulations)\n",
-		sweep.M, sweep.Ncoms, sweep.Wmins, sweep.Scenarios, sweep.Trials, sweep.Cap, modelNames(sweep), total)
-
-	start := time.Now()
-	progress := func(done, total int) {
-		if *quiet {
-			return
+	var res *exp.Result
+	if *merge != "" {
+		if *journal != "" || *resume || *shardSpec != "" {
+			fmt.Fprintln(os.Stderr, "tables: -merge aggregates existing journals; drop -journal/-resume/-shard")
+			os.Exit(2)
 		}
-		if done%200 == 0 || done == total {
-			fmt.Fprintf(os.Stderr, "\r%d/%d simulations (%.0fs)", done, total, time.Since(start).Seconds())
-			if done == total {
-				fmt.Fprintln(os.Stderr)
+		// The campaign is whatever the journals record; campaign-shaping
+		// flags silently meaning nothing would invite quick-vs-full mixups.
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scale", "scenarios", "trials", "cap", "wmins", "workers", "seed", "models":
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			fmt.Fprintf(os.Stderr, "tables: -merge renders the journals' recorded campaign; %s cannot apply — drop them\n",
+				strings.Join(conflicting, " "))
+			os.Exit(2)
+		}
+		var paths []string
+		for _, p := range strings.Split(*merge, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
 			}
 		}
-	}
-	res, err := exp.Run(sweep, progress)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tables:", err)
-		os.Exit(1)
+		merged, err := exp.MergeJournals(paths...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		if merged.Sweep.M != m {
+			fmt.Fprintf(os.Stderr, "tables: journals record a m=%d campaign but the requested artifact needs m=%d\n", merged.Sweep.M, m)
+			os.Exit(1)
+		}
+		sw := merged.Sweep
+		fmt.Printf("# merged %d journal(s): m=%d ncom=%v wmin=%v scenarios=%d trials=%d cap=%d seed=%d models=%v (%d instances)\n",
+			len(paths), sw.M, sw.Ncoms, sw.Wmins, sw.Scenarios, sw.Trials, sw.Cap, sw.Seed, merged.Models(), len(merged.Instances))
+		res = merged
+	} else {
+		var shard exp.Shard
+		if *shardSpec != "" {
+			var err error
+			if shard, err = exp.ParseShard(*shardSpec); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(2)
+			}
+		}
+		if *resume && *journal == "" {
+			fmt.Fprintln(os.Stderr, "tables: -resume needs -journal")
+			os.Exit(2)
+		}
+
+		total := sweep.InstanceCount() * len(sweepHeuristics(sweep))
+		fmt.Printf("# sweep: m=%d ncom=%v wmin=%v scenarios=%d trials=%d cap=%d models=%v (%d simulations",
+			sweep.M, sweep.Ncoms, sweep.Wmins, sweep.Scenarios, sweep.Trials, sweep.Cap, modelNames(sweep), total)
+		if *shardSpec != "" {
+			fmt.Printf("; shard %s", shard)
+		}
+		fmt.Println(")")
+
+		start := time.Now()
+		progress := func(done, total int) {
+			if *quiet {
+				return
+			}
+			if done%200 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%d/%d simulations (%.0fs)", done, total, time.Since(start).Seconds())
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		opts := exp.RunOptions{Progress: progress, Shard: shard}
+		if *journal != "" {
+			j, err := openOrCreateJournal(*journal, *resume, sweep, shard)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+			defer j.Close()
+			if n := j.DoneCount(); *resume && n > 0 {
+				fmt.Printf("# resuming: %d instances already journaled\n", n)
+			}
+			opts.Journal = j
+		}
+		var err error
+		res, err = exp.RunWith(sweep, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		if *shardSpec != "" {
+			fmt.Printf("# NOTE: shard %s only — tables below aggregate a partial grid; recombine journals with -merge\n", shard)
+		}
 	}
 
 	if *table == 1 {
@@ -177,6 +268,23 @@ func main() {
 		names := []string{"E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"}
 		fmt.Print(exp.FormatFigure2(series, names))
 	}
+}
+
+// sweepHeuristics returns the campaign's resolved heuristic list.
+func sweepHeuristics(sweep exp.Sweep) []string { return sweep.Spec().Heuristics }
+
+// openOrCreateJournal resumes an existing journal file or starts a fresh
+// one; with -resume a missing file is created instead of failing, so one
+// command line works both on first run and on restart after a crash.
+func openOrCreateJournal(path string, resume bool, sweep exp.Sweep, shard exp.Shard) (*exp.Journal, error) {
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			return exp.OpenJournal(path)
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return exp.CreateJournal(path, sweep, shard)
 }
 
 func modelNames(sweep exp.Sweep) []string {

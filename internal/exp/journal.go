@@ -1,0 +1,333 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"tightsched/internal/avail"
+)
+
+// Key uniquely identifies one (model, point, trial, heuristic) instance
+// within a campaign — the coordinate a journal deduplicates on. Because
+// every instance's seed derives deterministically from its coordinate
+// (see Sweep.trialSeed), re-running a key always reproduces the same
+// InstanceResult, which is what makes resume exact.
+type Key struct {
+	Model     string
+	Ncom      int
+	Wmin      int
+	Scenario  int
+	Trial     int
+	Heuristic string
+}
+
+// Key returns the instance's journal coordinate.
+func (inst InstanceResult) Key() Key {
+	return Key{modelName(inst), inst.Point.Ncom, inst.Point.Wmin,
+		inst.Point.Scenario, inst.Trial, inst.Heuristic}
+}
+
+// SweepSpec is the JSON-serializable identity of a campaign: every field
+// that determines the instance grid and its deterministic outcomes.
+// Runtime knobs (Workers) are deliberately absent — they change speed,
+// never results. Heuristics and Models are stored resolved, so a journal
+// stays valid even if library defaults change later.
+type SweepSpec struct {
+	M            int      `json:"m"`
+	Ncoms        []int    `json:"ncoms"`
+	Wmins        []int    `json:"wmins"`
+	Scenarios    int      `json:"scenarios"`
+	Trials       int      `json:"trials"`
+	P            int      `json:"p"`
+	Iterations   int      `json:"iterations"`
+	Cap          int64    `json:"cap"`
+	Seed         uint64   `json:"seed"`
+	Heuristics   []string `json:"heuristics"`
+	Models       []string `json:"models"`
+	InitialAllUp bool     `json:"initialAllUp,omitempty"`
+}
+
+// Spec returns the campaign's identity with heuristics and model names
+// resolved.
+func (s *Sweep) Spec() SweepSpec {
+	models := make([]string, 0, len(s.models()))
+	for _, m := range s.models() {
+		models = append(models, m.Name())
+	}
+	return SweepSpec{
+		M:            s.M,
+		Ncoms:        append([]int(nil), s.Ncoms...),
+		Wmins:        append([]int(nil), s.Wmins...),
+		Scenarios:    s.Scenarios,
+		Trials:       s.Trials,
+		P:            s.P,
+		Iterations:   s.Iterations,
+		Cap:          s.Cap,
+		Seed:         s.Seed,
+		Heuristics:   append([]string(nil), s.heuristics()...),
+		Models:       models,
+		InitialAllUp: s.InitialAllUp,
+	}
+}
+
+// Sweep reconstructs a runnable campaign from the spec. Models are
+// resolved through avail.Builtin, so a journal of a campaign that used
+// custom (non-built-in) models cannot be reconstructed headlessly: resume
+// those with RunWith, passing the original Sweep alongside OpenJournal.
+func (sp SweepSpec) Sweep() (Sweep, error) {
+	s := sp.sweepDims()
+	for _, name := range sp.Models {
+		m, err := avail.Builtin(name)
+		if err != nil {
+			return Sweep{}, fmt.Errorf("exp: journal model %q is not built-in; resume with RunWith and the original Sweep: %w", name, err)
+		}
+		s.Models = append(s.Models, m)
+	}
+	return s, nil
+}
+
+// sweepDims reconstructs everything but the model instances — enough for
+// aggregation (which only reads recorded instances), not for re-running.
+func (sp SweepSpec) sweepDims() Sweep {
+	return Sweep{
+		M:            sp.M,
+		Ncoms:        append([]int(nil), sp.Ncoms...),
+		Wmins:        append([]int(nil), sp.Wmins...),
+		Scenarios:    sp.Scenarios,
+		Trials:       sp.Trials,
+		P:            sp.P,
+		Iterations:   sp.Iterations,
+		Cap:          sp.Cap,
+		Seed:         sp.Seed,
+		Heuristics:   append([]string(nil), sp.Heuristics...),
+		InitialAllUp: sp.InitialAllUp,
+	}
+}
+
+// journalHeader is the first line of every journal file.
+type journalHeader struct {
+	V     int       `json:"v"`
+	Spec  SweepSpec `json:"spec"`
+	Shard Shard     `json:"shard"`
+}
+
+// journalEntry is one completed instance, one line per instance.
+type journalEntry struct {
+	Model     string `json:"model"`
+	Ncom      int    `json:"ncom"`
+	Wmin      int    `json:"wmin"`
+	Scenario  int    `json:"scenario"`
+	Trial     int    `json:"trial"`
+	Heuristic string `json:"heuristic"`
+	Makespan  int64  `json:"makespan"`
+	Failed    bool   `json:"failed,omitempty"`
+}
+
+func (e journalEntry) instance() InstanceResult {
+	return InstanceResult{
+		Point:     Point{Ncom: e.Ncom, Wmin: e.Wmin, Scenario: e.Scenario},
+		Trial:     e.Trial,
+		Model:     e.Model,
+		Heuristic: e.Heuristic,
+		Makespan:  e.Makespan,
+		Failed:    e.Failed,
+	}
+}
+
+func entryOf(inst InstanceResult) journalEntry {
+	return journalEntry{
+		Model:     modelName(inst),
+		Ncom:      inst.Point.Ncom,
+		Wmin:      inst.Point.Wmin,
+		Scenario:  inst.Point.Scenario,
+		Trial:     inst.Trial,
+		Heuristic: inst.Heuristic,
+		Makespan:  inst.Makespan,
+		Failed:    inst.Failed,
+	}
+}
+
+// Journal is an append-only JSONL record of a campaign's completed
+// instances: a header line stamping the campaign spec (and shard), then
+// one line per instance. Every Append is written and flushed immediately,
+// so a crash loses at most the line being written — and OpenJournal
+// tolerates exactly that torn tail. The journal file is the unit of
+// resume (exp.Resume) and of cross-machine recombination (exp.Merge).
+type Journal struct {
+	mu     sync.Mutex
+	w      *JSONLWriter
+	path   string
+	header journalHeader
+	done   map[Key]InstanceResult
+}
+
+// CreateJournal starts a new journal for the sweep (shard is the slice
+// stamp; the zero Shard means the whole campaign). It fails if the file
+// already exists — open an existing journal with OpenJournal to resume.
+func CreateJournal(path string, sweep Sweep, shard Shard) (*Journal, error) {
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	if err := shard.Validate(); err != nil {
+		return nil, err
+	}
+	header := journalHeader{V: 1, Spec: sweep.Spec(), Shard: shard.normalize()}
+	w, err := CreateJSONL(path, header)
+	if err != nil {
+		return nil, fmt.Errorf("exp: create journal: %w", err)
+	}
+	return &Journal{w: w, path: path, header: header, done: map[Key]InstanceResult{}}, nil
+}
+
+// readJournal parses a journal file without modifying it. A corrupt line
+// before the (tolerated, crash-torn) tail is an error — the journal is
+// append-only, so damage there means the file was tampered with.
+func readJournal(path string) (journalHeader, map[Key]InstanceResult, int64, error) {
+	headerLine, records, validLen, err := ReadJSONL(path)
+	if err != nil {
+		return journalHeader{}, nil, 0, fmt.Errorf("exp: open journal: %w", err)
+	}
+	var header journalHeader
+	if err := json.Unmarshal(headerLine, &header); err != nil {
+		return journalHeader{}, nil, 0, fmt.Errorf("exp: journal %s header: %w", path, err)
+	}
+	if header.V != 1 {
+		return journalHeader{}, nil, 0, fmt.Errorf("exp: journal %s has unknown version %d", path, header.V)
+	}
+	header.Shard = header.Shard.normalize()
+	done := make(map[Key]InstanceResult, len(records))
+	for i, line := range records {
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return journalHeader{}, nil, 0, fmt.Errorf("exp: journal %s line %d: %w", path, i+2, err)
+		}
+		inst := e.instance()
+		done[inst.Key()] = inst
+	}
+	return header, done, validLen, nil
+}
+
+// OpenJournal opens an existing journal for resuming: it loads the header
+// and every recorded instance, truncates a torn final line (the signature
+// of a mid-write crash), and positions the file for appending. Read-only
+// consumers (aggregation, merging) should use LoadJournal instead, which
+// never writes.
+func OpenJournal(path string) (*Journal, error) {
+	header, done, validLen, err := readJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := OpenJSONLAppend(path, validLen)
+	if err != nil {
+		return nil, fmt.Errorf("exp: open journal for append: %w", err)
+	}
+	return &Journal{w: w, path: path, header: header, done: done}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Spec returns the campaign identity stamped in the header.
+func (j *Journal) Spec() SweepSpec { return j.header.Spec }
+
+// Shard returns the shard stamp ({0,1} for a whole-campaign journal).
+func (j *Journal) Shard() Shard { return j.header.Shard }
+
+// Done reports whether the key's instance is already journaled, and its
+// recorded result.
+func (j *Journal) Done(k Key) (InstanceResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	inst, ok := j.done[k]
+	return inst, ok
+}
+
+// DoneCount returns the number of journaled instances.
+func (j *Journal) DoneCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Instances returns the journaled results in canonical order.
+func (j *Journal) Instances() []InstanceResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return sortedInstances(j.done)
+}
+
+// Append records one completed instance, immediately flushed to disk.
+func (j *Journal) Append(inst InstanceResult) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Append(entryOf(inst)); err != nil {
+		return fmt.Errorf("exp: %w", err)
+	}
+	j.done[inst.Key()] = inst
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Close()
+}
+
+// matches verifies that the journal belongs to this sweep and shard, so a
+// resume cannot silently mix incompatible campaigns in one file.
+func (j *Journal) matches(s *Sweep, shard Shard) error {
+	if spec := s.Spec(); !reflect.DeepEqual(spec, j.header.Spec) {
+		return fmt.Errorf("exp: journal %s records a different campaign (spec %+v, want %+v)",
+			j.path, j.header.Spec, spec)
+	}
+	if got, want := j.header.Shard, shard.normalize(); got != want {
+		return fmt.Errorf("exp: journal %s records shard %s, run requested %s", j.path, got, want)
+	}
+	return nil
+}
+
+// Resume continues an interrupted journaled campaign from its file alone:
+// the header reconstructs the sweep, recorded instances are trusted
+// as-is, and only the missing (model, point, trial, heuristic) instances
+// are re-run — each from its coordinate-derived seed, so the final Result
+// is bit-identical to an uninterrupted run's. Campaigns with custom
+// (non-built-in) availability models must instead resume via RunWith with
+// the original Sweep and OpenJournal.
+func Resume(journalPath string, progress func(done, total int)) (*Result, error) {
+	j, err := OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	sweep, err := j.Spec().Sweep()
+	if err != nil {
+		return nil, err
+	}
+	return RunWith(sweep, RunOptions{Progress: progress, Journal: j, Shard: j.Shard()})
+}
+
+// LoadJournal reads a journal into a Result without running anything or
+// writing to the file (safe on read-only artifacts) — the input to
+// exp.Merge when recombining shard journals. The Result's Sweep carries
+// the journaled dimensions (models stay name-only inside the instances).
+func LoadJournal(path string) (*Result, Shard, error) {
+	header, done, _, err := readJournal(path)
+	if err != nil {
+		return nil, Shard{}, err
+	}
+	return &Result{Sweep: header.Spec.sweepDims(), Instances: sortedInstances(done)}, header.Shard, nil
+}
+
+// sortedInstances flattens a key-indexed instance set into canonical
+// order.
+func sortedInstances(done map[Key]InstanceResult) []InstanceResult {
+	out := make([]InstanceResult, 0, len(done))
+	for _, inst := range done {
+		out = append(out, inst)
+	}
+	sortInstances(out)
+	return out
+}

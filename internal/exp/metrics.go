@@ -130,7 +130,29 @@ func (r *Result) tableFiltered(ref string, keep func(InstanceResult) bool) ([]Ta
 		row := TableRow{Heuristic: name}
 		var diffs []float64
 		wins, wins30, trials := 0, 0, 0
-		for key, c := range byScen {
+		// Accumulate scenarios in sorted-key order: float summation order
+		// must not depend on map iteration, so one campaign's tables are
+		// bit-identical however it was executed (in one run, resumed from
+		// a journal, or merged from shards).
+		keys := make([]scenarioKey, 0, len(byScen))
+		for key := range byScen {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.Model != b.Model {
+				return a.Model < b.Model
+			}
+			if a.Ncom != b.Ncom {
+				return a.Ncom < b.Ncom
+			}
+			if a.Wmin != b.Wmin {
+				return a.Wmin < b.Wmin
+			}
+			return a.Scenario < b.Scenario
+		})
+		for _, key := range keys {
+			c := byScen[key]
 			row.Fails += c.fails
 			refC := refCells[key]
 			if refC == nil {

@@ -142,6 +142,35 @@ func (s *Sweep) InstanceCount() int {
 	return len(s.models()) * len(s.Ncoms) * len(s.Wmins) * s.Scenarios * s.Trials
 }
 
+// Coord identifies one (model, point, trial) instance of the sweep grid:
+// the unit of sharding and journal bookkeeping (the heuristic dimension
+// fans out within a coordinate, so every shard carries complete
+// same-realization heuristic comparisons).
+type Coord struct {
+	Model string
+	Point Point
+	Trial int
+}
+
+// Coords enumerates the instance grid in canonical order (model, ncom,
+// wmin, scenario, trial — model-major in Models order).
+func (s *Sweep) Coords() []Coord {
+	out := make([]Coord, 0, s.InstanceCount())
+	for _, m := range s.models() {
+		name := m.Name()
+		for _, ncom := range s.Ncoms {
+			for _, wmin := range s.Wmins {
+				for sc := 0; sc < s.Scenarios; sc++ {
+					for tr := 0; tr < s.Trials; tr++ {
+						out = append(out, Coord{name, Point{ncom, wmin, sc}, tr})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Point identifies one scenario draw within the sweep.
 type Point struct {
 	Ncom     int
@@ -216,35 +245,87 @@ func runInstance(s *Sweep, model avail.Model, pt Point, trial int, h string) (re
 	})
 }
 
-// Run executes the campaign. Instances are distributed over a worker pool;
-// results are deterministic and order-independent. The optional progress
-// callback receives (completed, total) counts.
+// RunOptions tune campaign execution beyond the Sweep itself: journaling,
+// resuming, sharding, and streaming consumption. The zero value is a
+// plain in-memory run.
+type RunOptions struct {
+	// Progress receives (completed, total) counts, including instances
+	// skipped because they were already journaled. It is called from a
+	// single goroutine.
+	Progress func(done, total int)
+	// Journal streams every completed instance to an append-only file
+	// and skips instances the journal already holds (resume). The
+	// journal must have been created or opened for this sweep (and this
+	// shard): specs are checked.
+	Journal *Journal
+	// Shard restricts the run to one deterministic slice of the
+	// instance grid (see Sweep.Shard). The zero value runs everything.
+	Shard Shard
+	// Sink, when set, receives every completed instance as it finishes
+	// (after journaling), in completion order, from a single goroutine.
+	// A non-nil error aborts the campaign — already-journaled work
+	// survives for a later Resume.
+	Sink func(InstanceResult) error
+	// DiscardInstances drops per-instance results after journal/sink
+	// delivery instead of collecting them, bounding memory for huge
+	// campaigns whose aggregation happens elsewhere (e.g. exp.Merge over
+	// shard journals). The returned Result then has nil Instances.
+	DiscardInstances bool
+}
+
+// Run executes the campaign in memory. Instances are distributed over a
+// worker pool; results are deterministic and order-independent. The
+// optional progress callback receives (completed, total) counts.
 func Run(sweep Sweep, progress func(done, total int)) (*Result, error) {
+	return RunWith(sweep, RunOptions{Progress: progress})
+}
+
+// RunWith executes the campaign with journaling, sharding and streaming
+// options. Completed instances are streamed — journaled, handed to the
+// sink, and (unless discarded) collected — as they finish rather than
+// gathered at the end, so an interrupted run loses only in-flight work.
+func RunWith(sweep Sweep, opts RunOptions) (*Result, error) {
 	if err := sweep.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Journal != nil {
+		if err := opts.Journal.matches(&sweep, opts.Shard); err != nil {
+			return nil, err
+		}
+	}
 	heuristics := sweep.heuristics()
-	models := sweep.models()
+	modelByName := map[string]avail.Model{}
+	for _, m := range sweep.models() {
+		modelByName[m.Name()] = m
+	}
 
 	type job struct {
-		model avail.Model
-		pt    Point
-		trial int
-		h     string
+		c Coord
+		h string
 	}
 	var jobs []job
-	for _, model := range models {
-		for _, ncom := range sweep.Ncoms {
-			for _, wmin := range sweep.Wmins {
-				for sc := 0; sc < sweep.Scenarios; sc++ {
-					for tr := 0; tr < sweep.Trials; tr++ {
-						for _, h := range heuristics {
-							jobs = append(jobs, job{model, Point{ncom, wmin, sc}, tr, h})
-						}
-					}
+	var prior []InstanceResult
+	for idx, c := range sweep.Coords() {
+		if !opts.Shard.Covers(idx) {
+			continue
+		}
+		for _, h := range heuristics {
+			if opts.Journal != nil {
+				if inst, ok := opts.Journal.Done(Key{c.Model, c.Point.Ncom, c.Point.Wmin, c.Point.Scenario, c.Trial, h}); ok {
+					prior = append(prior, inst)
+					continue
 				}
 			}
+			jobs = append(jobs, job{c, h})
 		}
+	}
+	total := len(jobs) + len(prior)
+	completed := len(prior)
+	if opts.Progress != nil && completed > 0 {
+		opts.Progress(completed, total)
 	}
 
 	workers := sweep.Workers
@@ -256,64 +337,103 @@ func Run(sweep Sweep, progress func(done, total int)) (*Result, error) {
 	}
 
 	jobCh := make(chan int)
-	results := make([]InstanceResult, len(jobs))
-	errCh := make(chan error, workers)
-	var done sync.WaitGroup
-	var mu sync.Mutex
-	completed := 0
+	resCh := make(chan InstanceResult, workers)
+	errCh := make(chan error, workers+1)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	abort := func(err error) {
+		errCh <- err
+		stopOnce.Do(func() { close(stop) })
+	}
 
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		done.Add(1)
+		wg.Add(1)
 		go func() {
-			defer done.Done()
+			defer wg.Done()
 			for idx := range jobCh {
 				j := jobs[idx]
-				res, err := runInstance(&sweep, j.model, j.pt, j.trial, j.h)
+				res, err := runInstance(&sweep, modelByName[j.c.Model], j.c.Point, j.c.Trial, j.h)
 				if err != nil {
-					errCh <- err
+					abort(err)
 					return
 				}
-				results[idx] = InstanceResult{
-					Point:     j.pt,
-					Trial:     j.trial,
-					Model:     j.model.Name(),
+				inst := InstanceResult{
+					Point:     j.c.Point,
+					Trial:     j.c.Trial,
+					Model:     j.c.Model,
 					Heuristic: j.h,
 					Makespan:  res.Makespan,
 					Failed:    res.Failed,
 				}
-				if progress != nil {
-					mu.Lock()
-					completed++
-					c := completed
-					mu.Unlock()
-					progress(c, len(jobs))
+				select {
+				case resCh <- inst:
+				case <-stop:
+					return
 				}
 			}
 		}()
 	}
 
+	// One collector goroutine drains completions: it journals, feeds the
+	// sink and reports progress serially, so neither needs to be
+	// thread-safe, and the workers stay busy while I/O happens here.
+	collected := prior
+	if opts.DiscardInstances {
+		collected = nil
+	}
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for inst := range resCh {
+			if opts.Journal != nil {
+				if err := opts.Journal.Append(inst); err != nil {
+					abort(err)
+					return
+				}
+			}
+			if opts.Sink != nil {
+				if err := opts.Sink(inst); err != nil {
+					abort(err)
+					return
+				}
+			}
+			if !opts.DiscardInstances {
+				collected = append(collected, inst)
+			}
+			completed++
+			if opts.Progress != nil {
+				opts.Progress(completed, total)
+			}
+		}
+	}()
+
+feed:
 	for idx := range jobs {
 		select {
-		case err := <-errCh:
-			close(jobCh)
-			done.Wait()
-			return nil, err
 		case jobCh <- idx:
+		case <-stop:
+			break feed
 		}
 	}
 	close(jobCh)
-	done.Wait()
+	wg.Wait()
+	close(resCh)
+	<-collectorDone
 	select {
 	case err := <-errCh:
 		return nil, err
 	default:
 	}
 
-	// Stable order: by model name, point, trial, heuristic. Jobs are
-	// generated point-major within each model of the Models slice, so
-	// this re-sorts the model dimension lexicographically; the key is a
-	// full total order, keeping Instances deterministic regardless of
-	// worker count or Models ordering.
+	sortInstances(collected)
+	return &Result{Sweep: sweep, Instances: collected}, nil
+}
+
+// sortInstances orders results by (model name, point, trial, heuristic) —
+// a full total order, keeping Instances deterministic regardless of
+// worker count, Models ordering, or resume/merge history.
+func sortInstances(results []InstanceResult) {
 	sort.SliceStable(results, func(a, b int) bool {
 		ra, rb := results[a], results[b]
 		if ra.Model != rb.Model {
@@ -333,5 +453,4 @@ func Run(sweep Sweep, progress func(done, total int)) (*Result, error) {
 		}
 		return ra.Heuristic < rb.Heuristic
 	})
-	return &Result{Sweep: sweep, Instances: results}, nil
 }

@@ -19,7 +19,8 @@
 //     Section VII.B semi-Markov future-work model, recorded-trace
 //     replay), and
 //   - the Section VII experiment harness (Tables I-II, Figure 2, and the
-//     cross-model Table III).
+//     cross-model Table III), with journaled, resumable and shardable
+//     campaign execution for long or distributed sweeps.
 //
 // Quickstart:
 //
@@ -137,6 +138,23 @@ type (
 	SweepResult = exp.Result
 	// TableRow is one line of Table I / Table II.
 	TableRow = exp.TableRow
+	// SweepOptions tune campaign execution: journaling, resuming,
+	// sharding, and streaming consumption.
+	SweepOptions = exp.RunOptions
+	// SweepJournal is an append-only on-disk record of a campaign's
+	// completed instances — the unit of resume and shard recombination.
+	SweepJournal = exp.Journal
+	// SweepShard names one deterministic slice of a campaign's instance
+	// grid (shard i of n; the zero value is the whole campaign).
+	SweepShard = exp.Shard
+	// SweepInstance is one (model, point, trial, heuristic) outcome —
+	// what a SweepOptions.Sink receives and a journal records.
+	SweepInstance = exp.InstanceResult
+	// SweepKey is an instance's unique campaign coordinate.
+	SweepKey = exp.Key
+	// SweepSpec is the JSON-serializable identity of a campaign, as
+	// stamped in journal headers.
+	SweepSpec = exp.SweepSpec
 )
 
 // DefaultCap is the paper's makespan failure limit (1,000,000 slots).
@@ -176,6 +194,41 @@ func QuickSweep(m int) Sweep { return exp.QuickSweep(m) }
 func RunSweep(sweep Sweep, progress func(done, total int)) (*SweepResult, error) {
 	return exp.Run(sweep, progress)
 }
+
+// RunSweepWith executes a campaign with journal/resume/shard/streaming
+// options: completed instances stream to the journal and sink as they
+// finish, so an interrupted campaign loses only in-flight work and a
+// sharded one can run as n disjoint jobs.
+func RunSweepWith(sweep Sweep, opts SweepOptions) (*SweepResult, error) {
+	return exp.RunWith(sweep, opts)
+}
+
+// CreateSweepJournal starts a new journal for the sweep (shard is the
+// slice stamp; the zero SweepShard means the whole campaign).
+func CreateSweepJournal(path string, sweep Sweep, shard SweepShard) (*SweepJournal, error) {
+	return exp.CreateJournal(path, sweep, shard)
+}
+
+// OpenSweepJournal opens an existing journal for resuming, tolerating a
+// crash-torn final line.
+func OpenSweepJournal(path string) (*SweepJournal, error) {
+	return exp.OpenJournal(path)
+}
+
+// ResumeSweep continues an interrupted journaled campaign from its file
+// alone; the result is bit-identical to an uninterrupted run's.
+func ResumeSweep(journalPath string, progress func(done, total int)) (*SweepResult, error) {
+	return exp.Resume(journalPath, progress)
+}
+
+// MergeSweepJournals recombines shard journals of one campaign into one
+// complete result, erroring on gaps or conflicts.
+func MergeSweepJournals(paths ...string) (*SweepResult, error) {
+	return exp.MergeJournals(paths...)
+}
+
+// ParseSweepShard parses the command-line shard form "i/n" (0-based).
+func ParseSweepShard(s string) (SweepShard, error) { return exp.ParseShard(s) }
 
 // FormatTable renders aggregated rows in the paper's table layout.
 func FormatTable(rows []TableRow) string { return exp.FormatTable(rows) }

@@ -1,6 +1,7 @@
 package tightsched_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -178,5 +179,62 @@ func TestFacadeSweepNonMarkov(t *testing.T) {
 		if inst.Model != "semimarkov" {
 			t.Fatalf("instance model %q", inst.Model)
 		}
+	}
+}
+
+// TestFacadeJournaledShardedSweep drives the campaign-execution surface
+// end-to-end through the façade: shard a small campaign into two
+// journaled jobs, merge the journals, and resume one journal standalone.
+func TestFacadeJournaledShardedSweep(t *testing.T) {
+	sweep := tightsched.QuickSweep(5)
+	sweep.Wmins = []int{1, 2}
+	sweep.Ncoms = []int{10}
+	sweep.Scenarios = 1
+	sweep.Trials = 1
+	sweep.Heuristics = []string{"IE", "RANDOM"}
+	sweep.Cap = 50000
+
+	full, err := tightsched.RunSweep(sweep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	paths := []string{dir + "/shard0.journal", dir + "/shard1.journal"}
+	for i, path := range paths {
+		shard, err := tightsched.ParseSweepShard(fmt.Sprintf("%d/2", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := tightsched.CreateSweepJournal(path, sweep, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tightsched.RunSweepWith(sweep, tightsched.SweepOptions{Journal: j, Shard: shard}); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+	}
+
+	merged, err := tightsched.MergeSweepJournals(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Instances) != len(full.Instances) {
+		t.Fatalf("merged %d instances, want %d", len(merged.Instances), len(full.Instances))
+	}
+	for i := range merged.Instances {
+		if merged.Instances[i] != full.Instances[i] {
+			t.Fatalf("instance %d differs after façade shard+merge", i)
+		}
+	}
+
+	// A complete shard journal resumes as pure replay.
+	res, err := tightsched.ResumeSweep(paths[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances)*2 != len(full.Instances) {
+		t.Fatalf("resumed shard has %d instances, want %d", len(res.Instances), len(full.Instances)/2)
 	}
 }
