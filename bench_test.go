@@ -178,6 +178,89 @@ func BenchmarkAnalyticPplus(b *testing.B) {
 	}
 }
 
+// benchPlatformWith is benchPlatform with explicit evaluation options.
+func benchPlatformWith(p int, eps float64, opts analytic.Options) *analytic.Platform {
+	stream := rng.New(1)
+	ms := make([]markov.Matrix, p)
+	for i := range ms {
+		ms[i] = markov.PerState(stream.Uniform(0.90, 0.99),
+			stream.Uniform(0.90, 0.99), stream.Uniform(0.90, 0.99))
+	}
+	return analytic.NewPlatformWith(ms, eps, opts)
+}
+
+// benchMemberSets enumerates distinct 3-member sets of a 20-processor
+// platform, so miss-path benchmarks never hit a memo.
+func benchMemberSets(n int) [][]int {
+	sets := make([][]int, 0, n)
+	for a := 0; a < 20 && len(sets) < n; a++ {
+		for c := a + 1; c < 20 && len(sets) < n; c++ {
+			for e := c + 1; e < 20 && len(sets) < n; e++ {
+				sets = append(sets, []int{a, c, e})
+			}
+		}
+	}
+	return sets
+}
+
+// BenchmarkStatsOf measures the evaluation (memo-miss) cost of a set's
+// Theorem 5.1 statistics: the truncated series versus the spectral
+// closed form, over rotating member sets so no memo can hit.
+func BenchmarkStatsOf(b *testing.B) {
+	sets := benchMemberSets(512)
+	for _, bench := range []struct {
+		name string
+		opts analytic.Options
+	}{
+		{"series", analytic.Options{DisableMemo: true}},
+		{"spectral", analytic.Options{DisableMemo: true, Spectral: true}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			pl := benchPlatformWith(20, sim.DefaultEps, bench.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := pl.StatsOf(sets[i%len(sets)])
+				if st.Pplus <= 0 {
+					b.Fatal("bad stats")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStatsOfCached measures the memo hit path: the steady-state
+// cost of re-scoring a set the platform has already evaluated.
+func BenchmarkStatsOfCached(b *testing.B) {
+	pl := benchPlatformWith(20, sim.DefaultEps, analytic.Options{})
+	members := []int{0, 3, 7, 11, 19}
+	pl.StatsOf(members) // warm the entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := pl.StatsOf(members)
+		if st.Pplus <= 0 {
+			b.Fatal("bad stats")
+		}
+	}
+}
+
+// BenchmarkSweepPoint runs one full campaign point end-to-end — platform
+// generation, per-worker analytic cache, simulation, aggregation — the
+// unit the campaign throughput north-star multiplies.
+func BenchmarkSweepPoint(b *testing.B) {
+	sweep := miniSweep(5)
+	sweep.Heuristics = []string{"IE", "Y-IE", "RANDOM"}
+	sweep.Workers = 1 // single-threaded: ns/op must not depend on core count
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(sweep, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Instances) != 3 {
+			b.Fatalf("got %d instances", len(res.Instances))
+		}
+	}
+}
+
 // BenchmarkAnalyticCandidate measures one incremental candidate
 // evaluation: the set statistics of S ∪ {q} given a built S.
 func BenchmarkAnalyticCandidate(b *testing.B) {
@@ -224,13 +307,17 @@ func BenchmarkHeuristicDecide(b *testing.B) {
 	}
 }
 
-// BenchmarkDecideAllocations tracks per-decision allocation churn in the
-// scheduling hot path (the satellite fix of the avail-subsystem PR).
-// Before heuristics owned scratch buffers — upWorkers, needs/expComm and
-// a fresh SetEval were allocated on every candidate build — one passive
-// decision cost ~17 allocs / ~21 KB; with reuse it is down to the
-// returned assignment (~2 allocs / ~2 KB). Watch allocs/op: a regression
-// here multiplies across every slot of every simulation of a sweep.
+// BenchmarkDecideAllocations tracks per-decision cost in the scheduling
+// hot path: allocs/op (exact, machine-independent, gated tightly) and
+// ns/op (gated generously; see cmd/benchgate). The platform runs with
+// the evaluation cache plus the spectral closed form on — the tuned
+// configuration whose decision cost the perf trajectory (BENCH_*.json)
+// tracks: memo hits make a repeated decision a handful of map lookups,
+// and spectral keeps first-sight (miss) evaluations cheap. Before
+// heuristics owned scratch buffers one passive decision cost ~17 allocs
+// / ~21 KB; with reuse it is down to the returned assignment. A
+// regression here multiplies across every slot of every simulation of a
+// sweep.
 func BenchmarkDecideAllocations(b *testing.B) {
 	for _, name := range []string{"IE", "Y-IE", "RANDOM", "FASTEST"} {
 		b.Run(name, func(b *testing.B) {
@@ -238,8 +325,9 @@ func BenchmarkDecideAllocations(b *testing.B) {
 			env := &sched.Env{
 				Platform: sc.Platform,
 				App:      sc.App,
-				Analytic: analytic.NewPlatform(sc.Platform.Matrices(), sim.DefaultEps),
-				Rand:     rng.New(7),
+				Analytic: analytic.NewPlatformWith(sc.Platform.Matrices(), sim.DefaultEps,
+					analytic.Options{Spectral: true}),
+				Rand: rng.New(7),
 			}
 			h := sched.MustBuild(name, env)
 			v := &sched.View{

@@ -20,6 +20,7 @@ import (
 	"os"
 	"sort"
 
+	"tightsched/internal/analytic"
 	"tightsched/internal/core"
 	"tightsched/internal/trace"
 )
@@ -39,6 +40,7 @@ func main() {
 		compare    = flag.Bool("compare", false, "run all 17 heuristics and summarize")
 		trials     = flag.Int("trials", 5, "trials for -compare")
 		list       = flag.Bool("list", false, "list heuristic names and exit")
+		spectral   = flag.Bool("spectral", false, "use the exact closed-form set evaluator (agrees with the series within eps; decisions may differ at that precision)")
 	)
 	flag.Parse()
 
@@ -51,9 +53,11 @@ func main() {
 
 	sc := core.PaperScenario(*m, *ncom, *wmin, *seed)
 	sc.App.Iterations = *iterations
+	aopts := analytic.Options{Spectral: *spectral}
 
 	if *compare {
-		sums, err := core.Compare(sc, nil, *trials, *trial, core.Options{Cap: *capSlots, InitialAllUp: *allUp})
+		sums, err := core.Compare(sc, nil, *trials, *trial,
+			core.Options{Cap: *capSlots, InitialAllUp: *allUp, Analytic: aopts})
 		if err != nil {
 			fatal(err)
 		}
@@ -77,7 +81,7 @@ func main() {
 	}
 
 	var rec *trace.Recorder
-	opt := core.Options{Seed: *trial, Cap: *capSlots, InitialAllUp: *allUp}
+	opt := core.Options{Seed: *trial, Cap: *capSlots, InitialAllUp: *allUp, Analytic: aopts}
 	if *showTrace {
 		rec = &trace.Recorder{}
 		opt.Recorder = rec

@@ -86,6 +86,57 @@ func TestMarkovModelGoldenParity(t *testing.T) {
 	}
 }
 
+// TestEvaluationCacheGoldenParity runs golden cases with the analytic
+// memo table disabled and requires results identical to the default
+// (memoized) path: the cache must be bit-transparent at the level of
+// whole simulations, not just individual statistics. (The pinned golden
+// values themselves are checked against the default path by
+// TestMarkovModelGoldenParity, so together these pin cache-on == cache-off
+// == seed.)
+func TestEvaluationCacheGoldenParity(t *testing.T) {
+	for _, g := range goldenRuns {
+		sc := tightsched.PaperScenario(g.m, 10, 2, 11)
+		base, err := tightsched.Run(sc, g.heuristic, tightsched.Options{Seed: g.seed, Cap: 200_000})
+		if err != nil {
+			t.Fatalf("%s m=%d seed=%d: %v", g.heuristic, g.m, g.seed, err)
+		}
+		uncached, err := tightsched.Run(sc, g.heuristic, tightsched.Options{
+			Seed: g.seed, Cap: 200_000,
+			Analytic: tightsched.AnalyticOptions{DisableMemo: true},
+		})
+		if err != nil {
+			t.Fatalf("%s m=%d seed=%d uncached: %v", g.heuristic, g.m, g.seed, err)
+		}
+		if base != uncached {
+			t.Errorf("%s m=%d seed=%d: cached %+v != uncached %+v", g.heuristic, g.m, g.seed, base, uncached)
+		}
+	}
+}
+
+// TestSpectralGoldenScenarios smoke-tests the opt-in spectral fast path
+// on the golden scenarios: it is allowed to differ from the series within
+// the evaluation precision (so no bit-parity), but every run must still
+// complete all iterations under the cap.
+func TestSpectralGoldenScenarios(t *testing.T) {
+	for _, g := range goldenRuns {
+		if g.heuristic == "RANDOM" || g.heuristic == "FASTEST" {
+			continue // no analytic evaluation involved
+		}
+		sc := tightsched.PaperScenario(g.m, 10, 2, 11)
+		res, err := tightsched.Run(sc, g.heuristic, tightsched.Options{
+			Seed: g.seed, Cap: 200_000,
+			Analytic: tightsched.AnalyticOptions{Spectral: true},
+		})
+		if err != nil {
+			t.Fatalf("%s m=%d seed=%d spectral: %v", g.heuristic, g.m, g.seed, err)
+		}
+		if res.Failed || res.Completed != g.completed {
+			t.Errorf("%s m=%d seed=%d spectral: completed %d/%d (failed=%v)",
+				g.heuristic, g.m, g.seed, res.Completed, g.completed, res.Failed)
+		}
+	}
+}
+
 // TestQuickSweepDeterministicAcrossWorkers requires a QuickSweep-shaped
 // campaign to produce identical instances regardless of the worker-pool
 // size, serial included.

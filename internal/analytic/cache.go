@@ -1,0 +1,195 @@
+package analytic
+
+import (
+	"math"
+
+	"tightsched/internal/markov"
+)
+
+// Options tune a Platform's evaluation strategy beyond the series
+// precision eps. The zero value is the default: set-statistics
+// memoization on, spectral fast path off (the spectral path is exact up
+// to floating-point rounding rather than bit-identical to the truncated
+// series, so it is opt-in; see Spectral).
+type Options struct {
+	// DisableMemo turns off the membership-keyed SetStats memo table,
+	// restoring the seed behavior of re-summing series on every
+	// evaluation. Kept for differential testing and micro-benchmarks;
+	// production paths should leave it off.
+	DisableMemo bool
+	// Spectral enables the closed-form fast path: each restricted
+	// live-state chain is 2×2, so Puu_q(t) = a_q·λ1_q^t + b_q·λ2_q^t
+	// exactly and Π_q Puu_q(t) expands into 2^|S| geometric series with
+	// closed-form sums — exact in O(2^|S|) instead of O(|S|·T). Used for
+	// sets of at most SpectralCutoff members; larger sets, sets with a
+	// defective member chain, and sets that cannot fail fall back to the
+	// truncated series. Spectral values agree with the series within the
+	// truncation precision (validated in tests) but are not bit-identical
+	// to it, so heuristic decisions may differ within eps.
+	Spectral bool
+	// SpectralCutoff caps the set size taking the spectral path
+	// (DefaultSpectralCutoff when 0). The expansion holds 2^cutoff
+	// coefficient/ratio pairs in scratch buffers.
+	SpectralCutoff int
+}
+
+// DefaultSpectralCutoff is the largest set size routed through the
+// spectral evaluator by default. At 12 the expansion is 4096 terms —
+// cheaper than a fresh series pass at the paper's eigenvalue ranges —
+// and the paper's configurations (at most m = 10 enrolled workers) sit
+// comfortably below it.
+const DefaultSpectralCutoff = 12
+
+// memoLimit bounds the memo table. Long-lived platforms (a sweep worker
+// reusing one platform across trials) could otherwise accumulate every
+// set ever scored; on overflow the table is cleared and rebuilt, which is
+// semantically invisible because memoized values are canonical (see
+// computeStats) and therefore reproducible.
+const memoLimit = 1 << 15
+
+// spectralCutoff returns the effective spectral set-size cap.
+func (o Options) spectralCutoff() int {
+	if o.SpectralCutoff > 0 {
+		return o.SpectralCutoff
+	}
+	return DefaultSpectralCutoff
+}
+
+// memoLookup returns the memo entry for a key, or nil.
+func (pl *Platform) memoLookup(k SetKey) *memoEntry {
+	if k.rest == "" {
+		return pl.memoLo[k.lo]
+	}
+	return pl.memoHi[k]
+}
+
+// memoStore records the canonical statistics of a key, clearing the table
+// first if it is full, and returns the new entry.
+func (pl *Platform) memoStore(k SetKey, st SetStats) *memoEntry {
+	if len(pl.memoLo)+len(pl.memoHi) >= memoLimit {
+		clear(pl.memoLo)
+		clear(pl.memoHi)
+	}
+	e := &memoEntry{stats: st}
+	if k.rest == "" {
+		pl.memoLo[k.lo] = e
+	} else {
+		pl.memoHi[k] = e
+	}
+	return e
+}
+
+// computeStats is the canonical miss path of the memo table: it evaluates
+// the membership (plus the optional extra candidate, ignored when
+// negative) in sorted index order, independent of the order the caller
+// discovered the set in, so a memoized value is a pure function of
+// membership. That canonicality is what makes memo reuse safe across
+// decision epochs, trials and (per-worker) runs: any two computations of
+// the same set produce bit-identical floats.
+func (pl *Platform) computeStats(members []int, extra int) SetStats {
+	pl.scratchMembers = append(pl.scratchMembers[:0], members...)
+	if extra >= 0 {
+		pl.scratchMembers = append(pl.scratchMembers, extra)
+	}
+	sorted := pl.scratchMembers
+	insertionSortInts(sorted)
+	if pl.opts.Spectral && len(sorted) <= pl.opts.spectralCutoff() {
+		if st, ok := pl.spectralStats(sorted); ok {
+			return st
+		}
+	}
+	if pl.canon == nil {
+		pl.canon = pl.newSeriesSetEval()
+	} else {
+		pl.canon.Reset()
+	}
+	for _, q := range sorted {
+		pl.canon.Add(q)
+	}
+	return pl.canon.statsSeries()
+}
+
+// insertionSortInts sorts in place. Member lists are tiny (at most the
+// platform size, typically under a dozen) and usually already sorted, so
+// insertion sort beats sort.Ints without allocating an interface.
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// PlatformCache reuses analytic Platforms across simulation runs that
+// share believed matrices — consecutive trials and heuristics of one
+// sweep point see the identical matrix set, so one worker re-deriving
+// eigendecompositions, series constants and the whole SetStats memo per
+// run is pure waste. Like Platform itself, a cache must stay confined to
+// a single goroutine: each worker of a pool owns one.
+//
+// Reuse is bit-transparent: memoized statistics are canonical, so a
+// platform warmed by a previous run returns exactly the floats a cold
+// platform would compute.
+type PlatformCache struct {
+	entries map[string]*Platform
+}
+
+// platformCacheLimit bounds the number of distinct matrix sets held. A
+// sweep worker processes points in grid order, so consecutive jobs
+// overwhelmingly share one matrix set; on overflow the cache is cleared.
+const platformCacheLimit = 8
+
+// NewPlatformCache returns an empty single-goroutine platform cache.
+func NewPlatformCache() *PlatformCache {
+	return &PlatformCache{entries: make(map[string]*Platform)}
+}
+
+// Get returns the cached platform for the matrix set, building (and
+// caching) it on first sight. eps and opts are part of the identity.
+func (c *PlatformCache) Get(ms []markov.Matrix, eps float64, opts Options) *Platform {
+	key := matrixSetKey(ms, eps, opts)
+	if pl, ok := c.entries[key]; ok {
+		return pl
+	}
+	pl := NewPlatformWith(ms, eps, opts)
+	if len(c.entries) >= platformCacheLimit {
+		clear(c.entries)
+	}
+	c.entries[key] = pl
+	return pl
+}
+
+// matrixSetKey serializes the full identity of a platform build: eps,
+// options, and every matrix entry bit-for-bit.
+func matrixSetKey(ms []markov.Matrix, eps float64, opts Options) string {
+	buf := make([]byte, 0, 2+8+len(ms)*9*8)
+	var flags byte
+	if opts.DisableMemo {
+		flags |= 1
+	}
+	if opts.Spectral {
+		flags |= 2
+	}
+	buf = append(buf, flags, byte(opts.spectralCutoff()))
+	buf = appendFloatBits(buf, eps)
+	for _, m := range ms {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				buf = appendFloatBits(buf, m[i][j])
+			}
+		}
+	}
+	return string(buf)
+}
+
+func appendFloatBits(buf []byte, v float64) []byte {
+	bits := math.Float64bits(v)
+	for b := 0; b < 8; b++ {
+		buf = append(buf, byte(bits>>(8*uint(b))))
+	}
+	return buf
+}

@@ -69,7 +69,19 @@ type Proc struct {
 	// Heuristics evaluate survival at fractional expected times inside
 	// tight loops; the grid avoids a math.Pow per call.
 	surviveCache []float64
+
+	// commCache[n] and commPaperCache[n] memoize ExpectedComm(n) and
+	// ExpectedCommPaper(n): communication needs are small integers that
+	// recur every candidate evaluation, and the paper form costs a
+	// math.Pow per call. Grown on demand up to commCacheLimit.
+	commCache      []float64
+	commPaperCache []float64
 }
+
+// commCacheLimit bounds the communication-expectation caches; needs
+// beyond it (far past any paper-scale Tprog + m·Tdata) fall through to
+// direct evaluation.
+const commCacheLimit = 1 << 12
 
 // surviveGridStep is the resolution (points per slot) of the quantized
 // survival cache. A quarter-slot grid changes survival values by well
@@ -228,10 +240,17 @@ func (p *Proc) SurviveQ(t float64) float64 {
 // ExpectedComm returns E^(Pq)(n): the expected number of slots for this
 // worker, UP now, to complete n slots of communication with the master,
 // conditioned on not going DOWN (Section V.B with S = {Pq}), in the
-// renewal form. Zero when n <= 0.
+// renewal form. Zero when n <= 0. Values are memoized per n.
 func (p *Proc) ExpectedComm(n int) float64 {
 	if n <= 0 {
 		return 0
+	}
+	if n < commCacheLimit {
+		for n >= len(p.commCache) {
+			k := len(p.commCache)
+			p.commCache = append(p.commCache, 1+float64(k-1)*p.ec/p.pplus)
+		}
+		return p.commCache[n]
 	}
 	return 1 + float64(n-1)*p.ec/p.pplus
 }
@@ -240,9 +259,18 @@ func (p *Proc) ExpectedComm(n int) float64 {
 // (P⁺)^{n−1} (see SetStats.ExpectedCompletionPaper): the per-slot gap cost
 // is divided by the probability that all n−1 remaining slots succeed, so
 // the estimate grows rapidly for unreliable workers with large transfers.
+// Values are memoized per n — the math.Pow is paid once per need size.
 func (p *Proc) ExpectedCommPaper(n int) float64 {
 	if n <= 0 {
 		return 0
+	}
+	if n < commCacheLimit {
+		for n >= len(p.commPaperCache) {
+			k := len(p.commPaperCache)
+			p.commPaperCache = append(p.commPaperCache,
+				1+float64(k-1)*p.ec/math.Pow(p.pplus, float64(k-1)))
+		}
+		return p.commPaperCache[n]
 	}
 	return 1 + float64(n-1)*p.ec/math.Pow(p.pplus, float64(n-1))
 }

@@ -9,30 +9,130 @@ import (
 
 // Platform bundles the analytic state of every processor of a simulated
 // platform. A Platform (and everything reachable from it) must be confined
-// to a single goroutine: the per-processor Puu caches grow lazily and are
-// not synchronized. Construction is cheap, so each concurrent simulation
-// builds its own.
+// to a single goroutine: the per-processor Puu caches and the memo tables
+// grow lazily and are not synchronized. Construction is cheap, so each
+// concurrent simulation builds its own (or leases one from a
+// PlatformCache).
 type Platform struct {
 	Procs []*Proc
 	Eps   float64
+
+	opts Options
 
 	// horizons memoizes horizonFor by eigenvalue product. Products of the
 	// per-processor eigenvalues recur bit-exactly across candidate
 	// evaluations, so a plain map hits almost always.
 	horizons map[float64]int
+
+	// memoLo/memoHi map set membership to its canonical memo entry (nil
+	// when Options.DisableMemo). Repeated scorings of the same set —
+	// across candidate loops, decision epochs and cache-shared runs —
+	// return the stored floats instead of re-summing series. Sets
+	// confined to processors 0..63 (every platform at the paper's scale)
+	// use the plain-uint64 table, whose hash is markedly cheaper than the
+	// general SetKey's; see computeStats for the miss path.
+	memoOn bool
+	memoLo map[uint64]*memoEntry
+	memoHi map[SetKey]*memoEntry
+
+	// powPplus memoizes (P⁺)^k by (base bits, k): the heuristics
+	// exponentiate the same few set statistics at the same few workloads
+	// every slot, and math.Pow is the single hottest call of a memoized
+	// decision. Values are the cached results of math.Pow itself, so hits
+	// are bit-identical to recomputation.
+	powPplus map[powKey]float64
+
+	// Scratch state of the canonical miss path (computeStats) and the
+	// spectral expansion.
+	canon          *SetEval
+	scratchMembers []int
+	scoef, sratio  []float64
+}
+
+// powKey identifies one memoized exponentiation (P⁺ bit pattern, power).
+type powKey struct {
+	bits uint64
+	k    int
+}
+
+// memoEntry is one memo-table value: the set's canonical statistics plus
+// a small ring of memoized (P⁺)^k exponentiations. A set is scored at
+// very few distinct workloads (its workload is fixed by the assignment
+// shapes it appears in), so four inline slots cover the recurrences
+// without per-entry allocation; misses pay one math.Pow and overwrite the
+// oldest slot deterministically.
+type memoEntry struct {
+	stats   SetStats
+	powW    [4]int // cached exponents k (0 marks an empty slot; k >= 1)
+	powV    [4]float64
+	powNext uint8 // ring insertion cursor
+}
+
+// powK returns stats.Pplus^k through the entry's power ring. Cached
+// values are the stored results of math.Pow itself, so hits are
+// bit-identical to recomputation.
+func (e *memoEntry) powK(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	for i := range e.powW {
+		if e.powW[i] == k {
+			return e.powV[i]
+		}
+	}
+	v := math.Pow(e.stats.Pplus, float64(k))
+	i := int(e.powNext) % len(e.powW)
+	e.powW[i], e.powV[i] = k, v
+	e.powNext++
+	return v
 }
 
 // NewPlatform builds per-processor analytic state for the given
-// availability matrices with series precision eps (use DefaultEps).
+// availability matrices with series precision eps (use DefaultEps) and
+// default Options (memoization on, spectral fast path off).
 func NewPlatform(ms []markov.Matrix, eps float64) *Platform {
+	return NewPlatformWith(ms, eps, Options{})
+}
+
+// NewPlatformWith is NewPlatform with explicit evaluation Options.
+func NewPlatformWith(ms []markov.Matrix, eps float64, opts Options) *Platform {
 	if eps <= 0 {
 		panic("analytic: eps must be positive")
 	}
-	pl := &Platform{Procs: make([]*Proc, len(ms)), Eps: eps, horizons: make(map[float64]int)}
+	pl := &Platform{
+		Procs:    make([]*Proc, len(ms)),
+		Eps:      eps,
+		opts:     opts,
+		horizons: make(map[float64]int),
+		powPplus: make(map[powKey]float64),
+	}
+	if !opts.DisableMemo {
+		pl.memoOn = true
+		pl.memoLo = make(map[uint64]*memoEntry)
+		pl.memoHi = make(map[SetKey]*memoEntry)
+	}
 	for i, m := range ms {
 		pl.Procs[i] = NewProc(m, eps)
 	}
 	return pl
+}
+
+// PowPplus returns pplus^k through the platform's exponentiation memo.
+// k <= 0 yields 1 (matching math.Pow(x, 0) for the call sites' usage).
+func (pl *Platform) PowPplus(pplus float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	key := powKey{math.Float64bits(pplus), k}
+	if v, ok := pl.powPplus[key]; ok {
+		return v
+	}
+	v := math.Pow(pplus, float64(k))
+	if len(pl.powPplus) >= memoLimit {
+		clear(pl.powPplus)
+	}
+	pl.powPplus[key] = v
+	return v
 }
 
 // SetStats holds the Section V quantities of a worker set S.
@@ -91,25 +191,32 @@ func (s SetStats) String() string {
 // SetEval incrementally evaluates worker sets. It is the workhorse of the
 // incremental heuristics of Section VI: a configuration is built by adding
 // one worker at a time, and at each step every UP worker is scored as a
-// candidate. SetEval keeps the prefix products Π_{q∈S} Puu_q(t) so that
+// candidate. In series mode (memoization off, and the canonical miss path)
+// it keeps the prefix products Π_{q∈S} Puu_q(t) so that
 //
 //   - Stats() for the current set is cached,
 //   - CandidateStats(q) for q ∉ S costs one O(T) pass,
 //   - Add(q) costs one O(T) pass.
 //
 // T is the truncation horizon derived from the paper's tail bound for the
-// current Λ = Π λ1(q); it shrinks as members are added.
+// current Λ = Π λ1(q); it shrinks as members are added. With the memo
+// table on (the default), evaluators skip the product maintenance
+// entirely — Add is O(1) bookkeeping and Stats/CandidateStats are memo
+// lookups, with misses computed canonically by Platform.computeStats.
 type SetEval struct {
 	plat    *Platform
 	members []int
 	inSet   []bool
 	lambda  float64 // Π λ1 over members
+	key     SetKey  // membership bitset, the memo-table key
+	series  bool    // maintain prefix products (memo off, or canon)
 
-	// prod[i] = Π_{q∈S} Puu_q(i+1) for i = 0..horizon-1.
+	// prod[i] = Π_{q∈S} Puu_q(i+1) for i = 0..horizon-1 (series mode).
 	prod []float64
 
 	statsValid bool
 	stats      SetStats
+	entry      *memoEntry // memo entry of the current set (memo mode)
 }
 
 // NewSetEval returns an empty set evaluator over the platform.
@@ -118,7 +225,16 @@ func (pl *Platform) NewSetEval() *SetEval {
 		plat:   pl,
 		inSet:  make([]bool, len(pl.Procs)),
 		lambda: 1,
+		series: !pl.memoOn,
 	}
+}
+
+// newSeriesSetEval returns an evaluator that maintains prefix products
+// regardless of memoization — the canonical miss path runs on one.
+func (pl *Platform) newSeriesSetEval() *SetEval {
+	se := pl.NewSetEval()
+	se.series = true
+	return se
 }
 
 // Reset empties the evaluator for reuse, keeping its buffers. It lets a
@@ -130,7 +246,9 @@ func (se *SetEval) Reset() {
 	se.members = se.members[:0]
 	se.prod = se.prod[:0]
 	se.lambda = 1
+	se.key = SetKey{}
 	se.statsValid = false
+	se.entry = nil
 }
 
 // Size returns the number of members in the set.
@@ -204,61 +322,137 @@ func (se *SetEval) Add(q int) {
 	}
 	proc := se.plat.Procs[q]
 	newLambda := se.lambda * proc.Lambda1()
-	horizon := se.horizonFor(newLambda)
-
-	if len(se.members) == 0 {
-		if cap(se.prod) >= horizon {
-			se.prod = se.prod[:horizon]
+	if se.series {
+		horizon := se.horizonFor(newLambda)
+		if len(se.members) == 0 {
+			if cap(se.prod) >= horizon {
+				se.prod = se.prod[:horizon]
+			} else {
+				se.prod = make([]float64, horizon)
+			}
+			for i := 0; i < horizon; i++ {
+				se.prod[i] = proc.Puu(i + 1)
+			}
 		} else {
-			se.prod = make([]float64, horizon)
-		}
-		for i := 0; i < horizon; i++ {
-			se.prod[i] = proc.Puu(i + 1)
-		}
-	} else {
-		if horizon > len(se.prod) {
-			horizon = len(se.prod) // horizon never grows when adding members
-		}
-		se.prod = se.prod[:horizon]
-		for i := 0; i < horizon; i++ {
-			se.prod[i] *= proc.Puu(i + 1)
+			if horizon > len(se.prod) {
+				horizon = len(se.prod) // horizon never grows when adding members
+			}
+			se.prod = se.prod[:horizon]
+			for i := 0; i < horizon; i++ {
+				se.prod[i] *= proc.Puu(i + 1)
+			}
 		}
 	}
 	se.members = append(se.members, q)
 	se.inSet[q] = true
 	se.lambda = newLambda
+	se.key = se.key.withBit(q)
 	se.statsValid = false
+	se.entry = nil
 }
 
 // Stats returns the Section V quantities of the current set. It panics on
-// an empty set.
+// an empty set. With memoization on (the default), repeated evaluations
+// of the same membership — whatever order it was built in, here or in any
+// other evaluator of the platform — return the stored canonical floats.
 func (se *SetEval) Stats() SetStats {
 	if len(se.members) == 0 {
 		panic("analytic: Stats of empty set")
 	}
-	if !se.statsValid {
-		se.stats = se.statsFromSums(se.sums(nil))
-		se.statsValid = true
+	if se.statsValid {
+		return se.stats
 	}
+	if se.plat.memoOn {
+		e := se.plat.memoLookup(se.key)
+		if e == nil {
+			e = se.plat.memoStore(se.key, se.plat.computeStats(se.members, -1))
+		}
+		se.entry, se.stats, se.statsValid = e, e.stats, true
+		return e.stats
+	}
+	if se.plat.opts.Spectral {
+		// Memo off but spectral on: canonical evaluation without storing,
+		// matching what Platform.StatsOf does for the same options.
+		se.stats = se.plat.computeStats(se.members, -1)
+	} else {
+		se.stats = se.statsSeries()
+	}
+	se.statsValid = true
 	return se.stats
+}
+
+// StatsPow returns Stats() together with (P⁺)^{w−1}, the exponentiation
+// shared by the success-probability and expected-completion metrics, from
+// the set's memoized power ring.
+func (se *SetEval) StatsPow(w int) (SetStats, float64) {
+	st := se.Stats()
+	if w <= 1 {
+		return st, 1
+	}
+	if se.entry != nil {
+		return st, se.entry.powK(w - 1)
+	}
+	return st, math.Pow(st.Pplus, float64(w-1))
+}
+
+// statsSeries evaluates the current set by the truncated series over the
+// incrementally maintained prefix products, bypassing the memo table.
+// This is the seed evaluation path; computeStats builds on it for the
+// canonical miss path.
+func (se *SetEval) statsSeries() SetStats {
+	return se.statsFromSums(se.sums(nil))
 }
 
 // CandidateStats returns the Section V quantities of S ∪ {q} without
 // modifying the set. If q is already a member it is equivalent to Stats.
 // An empty set with candidate q returns the singleton statistics of q.
 func (se *SetEval) CandidateStats(q int) SetStats {
+	st, _ := se.candidateStats(q)
+	return st
+}
+
+// CandidateStatsPow is CandidateStats plus (P⁺)^{w−1} from the candidate
+// set's memoized power ring — the single-map-lookup fast path of the
+// heuristics' candidate-scoring loop.
+func (se *SetEval) CandidateStatsPow(q, w int) (SetStats, float64) {
+	st, e := se.candidateStats(q)
+	if w <= 1 {
+		return st, 1
+	}
+	if e != nil {
+		return st, e.powK(w - 1)
+	}
+	return st, math.Pow(st.Pplus, float64(w-1))
+}
+
+// candidateStats returns the statistics of S ∪ {q} plus the memo entry
+// backing them (nil in memo-off mode and for the proc-constant singleton
+// path).
+func (se *SetEval) candidateStats(q int) (SetStats, *memoEntry) {
 	if q < 0 || q >= len(se.plat.Procs) {
 		panic(fmt.Sprintf("analytic: CandidateStats(%d) out of range", q))
 	}
 	if se.inSet[q] {
-		return se.Stats()
+		st := se.Stats()
+		return st, se.entry
 	}
 	proc := se.plat.Procs[q]
 	if len(se.members) == 0 {
 		// Singleton: closed-form constants are already cached on the proc.
-		return SetStats{Eu: proc.eu, A: proc.a, Pplus: proc.pplus, Ec: proc.ec}
+		return SetStats{Eu: proc.eu, A: proc.a, Pplus: proc.pplus, Ec: proc.ec}, nil
 	}
-	return se.statsFromSums(se.sums(proc))
+	if se.plat.memoOn {
+		key := se.key.withBit(q)
+		e := se.plat.memoLookup(key)
+		if e == nil {
+			e = se.plat.memoStore(key, se.plat.computeStats(se.members, q))
+		}
+		return e.stats, e
+	}
+	if se.plat.opts.Spectral {
+		return se.plat.computeStats(se.members, q), nil
+	}
+	return se.statsFromSums(se.sums(proc)), nil
 }
 
 // sums computes (Eu, A, canFail) over the current set, multiplied by the
@@ -327,11 +521,29 @@ func (se *SetEval) puuSetFunc() func(int) float64 {
 	}
 }
 
-// StatsOf is a convenience that evaluates a whole set at once.
+// StatsOf evaluates a whole set at once, through the memo table when
+// enabled: only the first evaluation of a membership pays for series (or
+// spectral) work, and every later one — from any call site of the
+// platform — returns the identical stored floats.
 func (pl *Platform) StatsOf(members []int) SetStats {
+	if len(members) == 0 {
+		panic("analytic: Stats of empty set")
+	}
+	if pl.memoOn {
+		key := keyOfMembers(members)
+		if e := pl.memoLookup(key); e != nil {
+			return e.stats
+		}
+		return pl.memoStore(key, pl.computeStats(members, -1)).stats
+	}
+	if pl.opts.Spectral {
+		// Memo off but spectral on: evaluate canonically (spectral with
+		// series fallback) without storing.
+		return pl.computeStats(members, -1)
+	}
 	se := pl.NewSetEval()
 	for _, q := range members {
 		se.Add(q)
 	}
-	return se.Stats()
+	return se.statsSeries()
 }

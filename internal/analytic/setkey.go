@@ -1,0 +1,69 @@
+package analytic
+
+// SetKey is a comparable bitset over processor indices: the memo-table key
+// for set statistics, which depend only on set membership (never on the
+// order members were added). The first 64 processors live in an inline
+// word — platforms at the paper's scale (p = 20) never touch the string
+// part — and higher indices are packed into a canonical string so the key
+// stays usable as a map key for platforms of any size.
+type SetKey struct {
+	lo   uint64
+	rest string
+}
+
+// withBit returns the key with processor q's bit set.
+func (k SetKey) withBit(q int) SetKey {
+	if q < 64 {
+		k.lo |= 1 << uint(q)
+		return k
+	}
+	// Slow path: unpack, set, repack canonically. Platforms beyond 64
+	// processors hit this once per candidate evaluation miss only.
+	words := unpackWords(k.rest)
+	wi := q/64 - 1
+	for len(words) <= wi {
+		words = append(words, 0)
+	}
+	words[wi] |= 1 << (uint(q) % 64)
+	k.rest = packWords(words)
+	return k
+}
+
+// keyOfMembers builds the key of an explicit member list.
+func keyOfMembers(members []int) SetKey {
+	var k SetKey
+	for _, q := range members {
+		k = k.withBit(q)
+	}
+	return k
+}
+
+// packWords encodes the high words little-endian, trimming trailing zero
+// words so equal sets always produce equal keys.
+func packWords(words []uint64) string {
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return ""
+	}
+	buf := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		w := words[i]
+		for b := 0; b < 8; b++ {
+			buf[8*i+b] = byte(w >> (8 * uint(b)))
+		}
+	}
+	return string(buf)
+}
+
+func unpackWords(s string) []uint64 {
+	words := make([]uint64, len(s)/8)
+	for i := range words {
+		for b := 0; b < 8; b++ {
+			words[i] |= uint64(s[8*i+b]) << (8 * uint(b))
+		}
+	}
+	return words
+}

@@ -1,0 +1,84 @@
+package analytic
+
+import "math"
+
+// spectralMargin is how close to 1 a term ratio may get before the
+// closed-form geometric sum is abandoned for the series path: at
+// |r| -> 1 the 1/(1-r) factors amplify rounding faster than the series'
+// own truncation error grows.
+const spectralMargin = 1e-9
+
+// spectralStats evaluates the Theorem 5.1 sums of a set in closed form.
+//
+// Each member's restricted live-state chain is 2×2, so
+// Puu_q(t) = a_q·λ1_q^t + b_q·λ2_q^t exactly (markov.SubChain.PuuSpectrum)
+// and the set product expands into 2^|S| geometric terms:
+//
+//	Puu_S(t) = Π_q (a_q·λ1_q^t + b_q·λ2_q^t) = Σ_b C_b · r_b^t
+//
+// over eigenvalue selections b, with C_b = Π_q coef and r_b = Π_q λ.
+// The sums then close exactly — no truncation horizon at all:
+//
+//	Eu(S) = Σ_b C_b · r_b/(1−r_b)
+//	A(S)  = Σ_b C_b · r_b/(1−r_b)²
+//
+// in O(2^|S|) multiply-adds (the expansion is built member by member, so
+// the total work is Σ_i 2^i < 2^{|S|+1}).
+//
+// It reports ok = false — fall back to the series — when a member chain
+// is defective (no two-term form), when the set cannot fail (Eu diverges
+// and Ec needs the convolution), or when a term ratio is too close to ±1.
+// members must be in canonical (sorted) order so the products, and hence
+// the returned floats, are a pure function of membership.
+func (pl *Platform) spectralStats(members []int) (SetStats, bool) {
+	canFail := false
+	for _, q := range members {
+		canFail = canFail || pl.Procs[q].CanFail()
+	}
+	if !canFail {
+		return SetStats{}, false
+	}
+
+	n := 1 << len(members)
+	if cap(pl.scoef) < n {
+		pl.scoef = make([]float64, n)
+		pl.sratio = make([]float64, n)
+	}
+	coefs, ratios := pl.scoef[:1], pl.sratio[:1]
+	coefs[0], ratios[0] = 1, 1
+	for _, q := range members {
+		a, b, lam1, lam2, defective := pl.Procs[q].sub.PuuSpectrum()
+		if defective {
+			return SetStats{}, false
+		}
+		sz := len(coefs)
+		coefs, ratios = coefs[:2*sz], ratios[:2*sz]
+		for i := sz - 1; i >= 0; i-- {
+			c, r := coefs[i], ratios[i]
+			coefs[2*i], ratios[2*i] = c*a, r*lam1
+			coefs[2*i+1], ratios[2*i+1] = c*b, r*lam2
+		}
+	}
+
+	eu, aSum := 0.0, 0.0
+	for i, c := range coefs {
+		r := ratios[i]
+		if math.Abs(r) >= 1-spectralMargin {
+			return SetStats{}, false
+		}
+		g := r / (1 - r)
+		eu += c * g
+		aSum += c * g / (1 - r)
+	}
+	if !(eu > 0) || !(aSum > 0) {
+		// Cancellation pathologies; the series path is the safe answer.
+		return SetStats{}, false
+	}
+	pplus := eu / (1 + eu)
+	return SetStats{
+		Eu:    eu,
+		A:     aSum,
+		Pplus: pplus,
+		Ec:    aSum * (1 - pplus) / (1 + eu),
+	}, true
+}

@@ -80,6 +80,11 @@ type Options struct {
 	Recorder *trace.Recorder
 	// Custom heuristic to run instead of a named one.
 	Custom sched.Heuristic
+	// Analytic tunes the Section V evaluator (see analytic.Options): the
+	// zero value memoizes set statistics canonically by membership;
+	// Analytic.Spectral opts into the exact closed-form fast path, which
+	// agrees with the series within the precision eps.
+	Analytic analytic.Options
 }
 
 // Run simulates the scenario under the named heuristic.
@@ -97,6 +102,7 @@ func Run(sc Scenario, heuristic string, opt Options) (sim.Result, error) {
 		InitialAllUp: opt.InitialAllUp,
 		Model:        opt.Model,
 		Recorder:     opt.Recorder,
+		Analytic:     opt.Analytic,
 	})
 }
 
@@ -147,6 +153,7 @@ func Compare(sc Scenario, heuristics []string, trials int, baseSeed uint64, opt 
 				Cap:          opt.Cap,
 				InitialAllUp: opt.InitialAllUp,
 				Model:        opt.Model,
+				Analytic:     opt.Analytic,
 			})
 		}(i, j)
 	}

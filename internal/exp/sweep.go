@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"tightsched/internal/analytic"
 	"tightsched/internal/app"
 	"tightsched/internal/avail"
 	"tightsched/internal/platform"
@@ -227,7 +228,15 @@ func (s *Sweep) application(wmin int) app.Application {
 // arbitrary plugged-in code (e.g. a TraceModel panicking on a platform
 // size mismatch); a panic is converted into an error so the campaign
 // fails cleanly instead of crashing the worker pool.
-func runInstance(s *Sweep, model avail.Model, pt Point, trial int, h string) (res sim.Result, err error) {
+//
+// cache is the calling worker's analytic platform cache: the trials and
+// heuristics of one sweep point share a believed matrix set, so routing
+// them through one goroutine-confined cache reuses eigendecompositions,
+// series constants and the whole membership→SetStats memo across runs.
+// Memoized statistics are canonical, so results are bit-identical to
+// cache-free execution whatever the job interleaving — the cross-worker
+// determinism test pins this.
+func runInstance(s *Sweep, model avail.Model, pt Point, trial int, h string, cache *analytic.PlatformCache) (res sim.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("exp: model %s, point %+v, trial %d, heuristic %s: panic: %v",
@@ -235,13 +244,14 @@ func runInstance(s *Sweep, model avail.Model, pt Point, trial int, h string) (re
 		}
 	}()
 	return sim.Run(sim.Config{
-		Platform:     s.scenarioPlatform(pt),
-		App:          s.application(pt.Wmin),
-		Heuristic:    h,
-		Seed:         s.trialSeed(pt, trial),
-		Cap:          s.Cap,
-		InitialAllUp: s.InitialAllUp,
-		Model:        model,
+		Platform:      s.scenarioPlatform(pt),
+		App:           s.application(pt.Wmin),
+		Heuristic:     h,
+		Seed:          s.trialSeed(pt, trial),
+		Cap:           s.Cap,
+		InitialAllUp:  s.InitialAllUp,
+		Model:         model,
+		AnalyticCache: cache,
 	})
 }
 
@@ -351,9 +361,10 @@ func RunWith(sweep Sweep, opts RunOptions) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cache := analytic.NewPlatformCache()
 			for idx := range jobCh {
 				j := jobs[idx]
-				res, err := runInstance(&sweep, modelByName[j.c.Model], j.c.Point, j.c.Trial, j.h)
+				res, err := runInstance(&sweep, modelByName[j.c.Model], j.c.Point, j.c.Trial, j.h, cache)
 				if err != nil {
 					abort(err)
 					return

@@ -38,24 +38,16 @@ func commNeedCurrent(env *Env, w WorkerInfo, x int) int {
 	return need
 }
 
-// statsCache memoizes the Section V set statistics of one assignment.
-// The statistics depend only on configuration membership, so re-scoring
-// the same configuration slot after slot (the proactive comparison) costs
-// one Equal check instead of a fresh series evaluation.
-type statsCache struct {
-	valid bool
-	asg   app.Assignment
-	stats analytic.SetStats
-}
-
-func (c *statsCache) get(env *Env, asg app.Assignment) analytic.SetStats {
-	if c.valid && c.asg.Equal(asg) {
-		return c.stats
-	}
-	c.stats = env.Analytic.StatsOf(asg.Enrolled())
-	c.asg = asg.Clone()
-	c.valid = true
-	return c.stats
+// evalScratch holds the reusable buffers of configuration re-scoring, so
+// the per-slot proactive comparison allocates nothing. Set statistics
+// themselves are memoized by membership inside analytic.Platform (the
+// cache that replaced the old single-entry per-assignment statsCache
+// here), so re-scoring any configuration the platform has seen before —
+// not just the immediately previous one — costs a key lookup.
+type evalScratch struct {
+	needs    []analytic.CommNeed
+	enrolled []int
+	speeds   []int
 }
 
 // evalAssignment scores a configuration: the probability the iteration
@@ -68,9 +60,10 @@ func (c *statsCache) get(env *Env, asg app.Assignment) analytic.SetStats {
 // workload in compute slots; elapsed feeds the yield.
 func evalAssignment(env *Env, st analytic.SetStats, needs []analytic.CommNeed, wrem int, elapsed int64) Value {
 	cs := env.Analytic.CommEstimateForm(needs, env.Platform.Ncom, !env.RenewalE)
+	psucc, ecomp := env.successCompletion(st, wrem)
 	return Value{
-		P: cs.Success * st.ProbSuccess(wrem),
-		E: cs.Expected + env.completion(st, wrem),
+		P: cs.Success * psucc,
+		E: cs.Expected + ecomp,
 		T: float64(elapsed),
 	}
 }
@@ -78,28 +71,33 @@ func evalAssignment(env *Env, st analytic.SetStats, needs []analytic.CommNeed, w
 // evalCurrent scores the running configuration with progress folded in:
 // remaining communication (including partial messages) and remaining
 // workload.
-func evalCurrent(env *Env, v *View, cache *statsCache) Value {
-	var needs []analytic.CommNeed
+func evalCurrent(env *Env, v *View, s *evalScratch) Value {
+	s.needs, s.enrolled = s.needs[:0], s.enrolled[:0]
 	for q, x := range v.Current {
 		if x > 0 {
+			s.enrolled = append(s.enrolled, q)
 			if n := commNeedCurrent(env, v.Workers[q], x); n > 0 {
-				needs = append(needs, analytic.CommNeed{Proc: q, Slots: n})
+				s.needs = append(s.needs, analytic.CommNeed{Proc: q, Slots: n})
 			}
 		}
 	}
-	return evalAssignment(env, cache.get(env, v.Current), needs, v.RemainingWork, v.Elapsed)
+	return evalAssignment(env, env.Analytic.StatsOf(s.enrolled), s.needs, v.RemainingWork, v.Elapsed)
 }
 
 // evalFresh scores a newly built configuration: full workload, fresh
 // communication needs given retention.
-func evalFresh(env *Env, v *View, asg app.Assignment, cache *statsCache) Value {
-	var needs []analytic.CommNeed
+func evalFresh(env *Env, v *View, asg app.Assignment, s *evalScratch) Value {
+	s.needs, s.enrolled = s.needs[:0], s.enrolled[:0]
 	for q, x := range asg {
 		if x > 0 {
+			s.enrolled = append(s.enrolled, q)
 			if n := commNeedFresh(env, v.Workers[q], x); n > 0 {
-				needs = append(needs, analytic.CommNeed{Proc: q, Slots: n})
+				s.needs = append(s.needs, analytic.CommNeed{Proc: q, Slots: n})
 			}
 		}
 	}
-	return evalAssignment(env, cache.get(env, asg), needs, asg.Workload(env.Platform.Speeds()), v.Elapsed)
+	if s.speeds == nil {
+		s.speeds = env.Platform.Speeds()
+	}
+	return evalAssignment(env, env.Analytic.StatsOf(s.enrolled), s.needs, asg.Workload(s.speeds), v.Elapsed)
 }

@@ -169,14 +169,16 @@ func scoreCandidate(env *Env, v *View, se *analytic.SetEval, asg app.Assignment,
 	}
 
 	var st analytic.SetStats
+	var powv float64
 	if inSet {
-		st = se.Stats()
+		st, powv = se.StatsPow(w)
 	} else {
-		st = se.CandidateStats(q)
+		st, powv = se.CandidateStatsPow(q, w)
 	}
+	psucc, ecomp := env.successCompletionPow(st, w, powv)
 	val := Value{
-		P: pcomm * st.ProbSuccess(w),
-		E: ecomm + env.completion(st, w),
+		P: pcomm * psucc,
+		E: ecomm + ecomp,
 		T: float64(v.Elapsed),
 	}
 	return crit.Score(val)

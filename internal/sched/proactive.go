@@ -29,10 +29,10 @@ type proactive struct {
 	cacheEpoch int64
 	cacheAsg   app.Assignment
 
-	// Set-statistics caches for re-scoring the running and candidate
-	// configurations (membership-dependent only).
-	curStats  statsCache
-	candStats statsCache
+	// Reusable buffers for the per-slot re-scoring of the running and
+	// candidate configurations; the set statistics themselves come from
+	// the platform-level membership memo in analytic.Platform.
+	scratch evalScratch
 }
 
 // Name implements Heuristic.
@@ -47,8 +47,8 @@ func (h *proactive) Decide(v *View) app.Assignment {
 	if cand == nil || cand.Equal(v.Current) {
 		return v.Current
 	}
-	cur := h.crit.Score(evalCurrent(h.env, v, &h.curStats))
-	alt := h.crit.Score(evalFresh(h.env, v, cand, &h.candStats))
+	cur := h.crit.Score(evalCurrent(h.env, v, &h.scratch))
+	alt := h.crit.Score(evalFresh(h.env, v, cand, &h.scratch))
 	if cur >= alt {
 		return v.Current
 	}

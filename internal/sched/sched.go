@@ -114,13 +114,37 @@ type Env struct {
 	RenewalE bool
 }
 
-// completion returns the expected-completion-time metric of a set under
-// the environment's configured form.
-func (e *Env) completion(st analytic.SetStats, w int) float64 {
-	if e.RenewalE {
-		return st.ExpectedCompletion(w)
+// successCompletion returns (ProbSuccess(w), completion metric) of a set
+// under the environment's configured form. Both quantities need the same
+// (P⁺)^{W−1}, the hottest exponentiation of a memoized decision; it is
+// computed once through the platform's PowPplus memo and shared, which is
+// bit-identical to the two independent math.Pow calls it replaces.
+func (e *Env) successCompletion(st analytic.SetStats, w int) (psucc, ecomp float64) {
+	powv := 1.0
+	if w > 1 {
+		powv = e.Analytic.PowPplus(st.Pplus, w-1)
 	}
-	return st.ExpectedCompletionPaper(w)
+	return e.successCompletionPow(st, w, powv)
+}
+
+// successCompletionPow is successCompletion with (P⁺)^{W−1} already in
+// hand (from a per-set power ring; see analytic.SetEval.StatsPow).
+func (e *Env) successCompletionPow(st analytic.SetStats, w int, powv float64) (psucc, ecomp float64) {
+	psucc = 1.0
+	if w > 1 {
+		psucc = powv
+	}
+	switch {
+	case w <= 0:
+		ecomp = 0
+	case st.Pplus <= 0:
+		ecomp = math.Inf(1)
+	case e.RenewalE:
+		ecomp = 1 + float64(w-1)*st.Ec/st.Pplus
+	default:
+		ecomp = 1 + float64(w-1)*st.Ec/powv
+	}
+	return psucc, ecomp
 }
 
 // expectedComm returns the single-worker communication estimate under the

@@ -52,6 +52,21 @@ type Config struct {
 	Recorder *trace.Recorder
 	// Eps is the analytic series precision (analytic.DefaultEps when 0).
 	Eps float64
+	// Analytic tunes the Section V evaluator (see analytic.Options). The
+	// zero value memoizes set statistics by membership: every evaluation
+	// of a set returns the same canonical (sorted-order) floats, and
+	// golden simulations are byte-identical to the memo-disabled path
+	// (pinned by TestEvaluationCacheGoldenParity). The spectral
+	// closed-form fast path is off; Analytic.Spectral turns it on (exact
+	// geometric sums, which agree with the truncated series within eps
+	// but may flip heuristic decisions at that precision).
+	Analytic analytic.Options
+	// AnalyticCache, when non-nil, reuses analytic platforms across runs
+	// that share believed matrices (e.g. the trials and heuristics of one
+	// sweep point). The cache, like the platforms it holds, must stay
+	// confined to a single goroutine; reuse is bit-transparent because
+	// memoized statistics are canonical.
+	AnalyticCache *analytic.PlatformCache
 	// RenewalE switches the heuristics' expected-completion-time metric
 	// to the renewal form (see sched.Env.RenewalE). The default (false)
 	// uses the formula as printed in the paper, reproducing its
@@ -164,11 +179,17 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("sim: model %s believes %d processors, platform has %d",
 			model.Name(), len(believed), cfg.Platform.Size())
 	}
+	var apl *analytic.Platform
+	if cfg.AnalyticCache != nil {
+		apl = cfg.AnalyticCache.Get(believed, eps, cfg.Analytic)
+	} else {
+		apl = analytic.NewPlatformWith(believed, eps, cfg.Analytic)
+	}
 	env := &sched.Env{
 		Platform: cfg.Platform,
 		App:      cfg.App,
 		Believed: believed,
-		Analytic: analytic.NewPlatform(believed, eps),
+		Analytic: apl,
 		Rand:     rng.NewKeyed(cfg.Seed, 0x7a4d),
 		RenewalE: cfg.RenewalE,
 	}

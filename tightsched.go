@@ -32,6 +32,7 @@
 package tightsched
 
 import (
+	"tightsched/internal/analytic"
 	"tightsched/internal/app"
 	"tightsched/internal/avail"
 	"tightsched/internal/core"
@@ -117,6 +118,13 @@ func ModelByName(name string) (AvailabilityModel, error) { return avail.Builtin(
 type (
 	// Options tune a single run.
 	Options = core.Options
+	// AnalyticOptions tune the Section V evaluator (Options.Analytic):
+	// membership-keyed set-statistics memoization is on by default
+	// (canonical values — every evaluation of a set returns the same
+	// floats, and golden simulations match the memo-disabled path byte
+	// for byte); Spectral opts into the exact closed-form fast path,
+	// which agrees with the series within the configured precision.
+	AnalyticOptions = analytic.Options
 	// Result is the outcome of one run.
 	Result = sim.Result
 	// Recorder captures per-slot execution traces (see Figure 1).
