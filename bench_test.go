@@ -10,6 +10,7 @@
 package tightsched_test
 
 import (
+	"context"
 	"testing"
 
 	"tightsched"
@@ -245,7 +246,10 @@ func BenchmarkStatsOfCached(b *testing.B) {
 
 // BenchmarkSweepPoint runs one full campaign point end-to-end — platform
 // generation, per-worker analytic cache, simulation, aggregation — the
-// unit the campaign throughput north-star multiplies.
+// unit the campaign throughput north-star multiplies. Since the Session
+// redesign this is also the "old callback path": exp.Run is a shim over
+// the event stream, so the pair (SweepPoint, StreamOverhead) measures the
+// same work consumed through the two API shapes.
 func BenchmarkSweepPoint(b *testing.B) {
 	sweep := miniSweep(5)
 	sweep.Heuristics = []string{"IE", "Y-IE", "RANDOM"}
@@ -257,6 +261,34 @@ func BenchmarkSweepPoint(b *testing.B) {
 		}
 		if len(res.Instances) != 3 {
 			b.Fatalf("got %d instances", len(res.Instances))
+		}
+	}
+}
+
+// BenchmarkStreamOverhead runs exactly BenchmarkSweepPoint's campaign
+// point but consumes it through the raw exp.Stream event iterator — the
+// path every Session campaign (and the rebuilt callback family) rides.
+// The benchgate CI job gates its ns/op against the committed baseline;
+// the design requirement is that events cost < 5% over the callback
+// figure of BenchmarkSweepPoint, which the baseline pair documents (the
+// dominant cost is the simulations; events add a few channel sends and
+// type switches per instance, not per slot).
+func BenchmarkStreamOverhead(b *testing.B) {
+	sweep := miniSweep(5)
+	sweep.Heuristics = []string{"IE", "Y-IE", "RANDOM"}
+	sweep.Workers = 1 // single-threaded: ns/op must not depend on core count
+	for i := 0; i < b.N; i++ {
+		instances := 0
+		for ev, err := range exp.Stream(context.Background(), sweep, exp.RunOptions{}) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := ev.(exp.InstanceDone); ok {
+				instances++
+			}
+		}
+		if instances != 3 {
+			b.Fatalf("got %d instances", instances)
 		}
 	}
 }

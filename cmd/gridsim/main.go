@@ -15,13 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
-	"tightsched/internal/analytic"
-	"tightsched/internal/core"
+	"tightsched"
 	"tightsched/internal/trace"
 )
 
@@ -45,19 +47,31 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, name := range core.Heuristics() {
+		for _, name := range tightsched.Heuristics() {
 			fmt.Println(name)
 		}
 		return
 	}
 
-	sc := core.PaperScenario(*m, *ncom, *wmin, *seed)
+	// Ctrl-C cancels the run context; the simulation stops at the next
+	// slot boundary instead of grinding on toward a million-slot cap.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sc := tightsched.PaperScenario(*m, *ncom, *wmin, *seed)
 	sc.App.Iterations = *iterations
-	aopts := analytic.Options{Spectral: *spectral}
+	session := tightsched.NewSession(
+		tightsched.WithCap(*capSlots),
+		tightsched.WithAnalytic(tightsched.AnalyticOptions{Spectral: *spectral}),
+	)
+	var opts []tightsched.Option
+	if *allUp {
+		opts = append(opts, tightsched.WithInitialAllUp())
+	}
 
 	if *compare {
-		sums, err := core.Compare(sc, nil, *trials, *trial,
-			core.Options{Cap: *capSlots, InitialAllUp: *allUp, Analytic: aopts})
+		sums, err := session.Compare(ctx, sc, nil, *trials,
+			append(opts, tightsched.WithSeed(*trial))...)
 		if err != nil {
 			fatal(err)
 		}
@@ -81,12 +95,12 @@ func main() {
 	}
 
 	var rec *trace.Recorder
-	opt := core.Options{Seed: *trial, Cap: *capSlots, InitialAllUp: *allUp, Analytic: aopts}
+	opts = append(opts, tightsched.WithSeed(*trial))
 	if *showTrace {
 		rec = &trace.Recorder{}
-		opt.Recorder = rec
+		opts = append(opts, tightsched.WithRecorder(rec))
 	}
-	res, err := core.Run(sc, *heuristic, opt)
+	res, err := session.Run(ctx, sc, *heuristic, opts...)
 	if err != nil {
 		fatal(err)
 	}

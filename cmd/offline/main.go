@@ -16,13 +16,21 @@
 // to an append-only JSONL file, -resume skips recorded trials, and
 // -shard i/n runs the trials congruent to i mod n (0-based) — n CI jobs
 // jointly cover the batch disjointly.
+//
+// SIGINT/SIGTERM (Ctrl-C) cancel the run context at the next trial
+// boundary: the journal — flushed per trial — is closed cleanly, so a
+// rerun with -resume continues from the interrupted batch instead of
+// finding a torn tail.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tightsched/internal/exp"
 	"tightsched/internal/offline"
@@ -62,6 +70,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Trap SIGINT/SIGTERM only for the trial loops, which poll the
+	// context each iteration; solve mode never polls, so swallowing the
+	// signal there would make Ctrl-C a no-op.
+	ctx := context.Background()
+	if *mode == "greedy" || *mode == "reduce" {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+
 	stream := rng.New(*seed)
 	switch *mode {
 	case "solve":
@@ -92,6 +110,9 @@ func main() {
 		check(err)
 		exact, greedy, covered := 0, 0, 0
 		for i := 0; i < *trials; i++ {
+			if ctx.Err() != nil {
+				interruptExit(tj, *journal)
+			}
 			if !shard.Covers(i) {
 				continue
 			}
@@ -130,6 +151,9 @@ func main() {
 		check(err)
 		agree, sat, covered := 0, 0, 0
 		for i := 0; i < *trials; i++ {
+			if ctx.Err() != nil {
+				interruptExit(tj, *journal)
+			}
 			if !shard.Covers(i) {
 				continue
 			}
@@ -188,6 +212,19 @@ func check(err error) error {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// interruptExit is the SIGINT/SIGTERM path out of a trial loop: close the
+// journal cleanly (every recorded trial is already flushed), tell the
+// operator how to continue, and exit with the conventional 130.
+func interruptExit(tj *trialJournal, journal string) {
+	check(tj.close())
+	if journal != "" {
+		fmt.Fprintf(os.Stderr, "offline: interrupted — journal %s is intact; rerun with -resume to continue\n", journal)
+	} else {
+		fmt.Fprintln(os.Stderr, "offline: interrupted — no journal was attached; pass -journal to make batches resumable")
+	}
+	os.Exit(130)
 }
 
 func shardNote(sh exp.Shard) string {

@@ -34,18 +34,26 @@
 //	tables -table 2 -scale full -journal t2.journal -resume
 //	tables -table 2 -scale full -journal t2-0.journal -shard 0/3   # CI job 0
 //	tables -table 2 -merge t2-0.journal,t2-1.journal,t2-2.journal
+//
+// SIGINT/SIGTERM (Ctrl-C) cancel the run context: in-flight simulations
+// stop at slot boundaries, every completed instance is already flushed to
+// the journal, and the file is closed cleanly — rerunning with -resume
+// continues exactly where the interrupt landed, bit-identically.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
-	"tightsched/internal/avail"
-	"tightsched/internal/exp"
+	"tightsched"
 )
 
 func main() {
@@ -92,16 +100,23 @@ func main() {
 		*models = "markov,semimarkov"
 	}
 
+	// The run context: Ctrl-C (or a SIGTERM from a batch scheduler)
+	// cancels it, and every layer below — the campaign worker pool at
+	// instance boundaries, each simulation at slot boundaries — honors
+	// the cancellation promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	m := 5
 	if *table == 2 || *figure == 2 {
 		m = 10
 	}
-	var sweep exp.Sweep
+	var sweep tightsched.Sweep
 	switch *scale {
 	case "quick":
-		sweep = exp.QuickSweep(m)
+		sweep = tightsched.QuickSweep(m)
 	case "full":
-		sweep = exp.PaperSweep(m)
+		sweep = tightsched.PaperSweep(m)
 	default:
 		fmt.Fprintln(os.Stderr, "tables: -scale must be quick or full")
 		os.Exit(2)
@@ -135,7 +150,7 @@ func main() {
 	}
 	if *models != "" {
 		for _, part := range strings.Split(*models, ",") {
-			model, err := avail.Builtin(strings.TrimSpace(part))
+			model, err := tightsched.ModelByName(strings.TrimSpace(part))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "tables:", err)
 				os.Exit(2)
@@ -144,7 +159,7 @@ func main() {
 		}
 	}
 
-	var res *exp.Result
+	var res *tightsched.SweepResult
 	if *merge != "" {
 		if *journal != "" || *resume || *shardSpec != "" {
 			fmt.Fprintln(os.Stderr, "tables: -merge aggregates existing journals; drop -journal/-resume/-shard")
@@ -170,7 +185,7 @@ func main() {
 				paths = append(paths, p)
 			}
 		}
-		merged, err := exp.MergeJournals(paths...)
+		merged, err := tightsched.MergeSweepJournals(paths...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
@@ -184,10 +199,10 @@ func main() {
 			len(paths), sw.M, sw.Ncoms, sw.Wmins, sw.Scenarios, sw.Trials, sw.Cap, sw.Seed, merged.Models(), len(merged.Instances))
 		res = merged
 	} else {
-		var shard exp.Shard
+		var shard tightsched.SweepShard
 		if *shardSpec != "" {
 			var err error
-			if shard, err = exp.ParseShard(*shardSpec); err != nil {
+			if shard, err = tightsched.ParseSweepShard(*shardSpec); err != nil {
 				fmt.Fprintln(os.Stderr, "tables:", err)
 				os.Exit(2)
 			}
@@ -217,22 +232,43 @@ func main() {
 				}
 			}
 		}
-		opts := exp.RunOptions{Progress: progress, Shard: shard}
+		session := tightsched.NewSession(
+			tightsched.WithProgress(progress),
+			tightsched.WithShard(shard),
+		)
+		var runOpts []tightsched.Option
+		var j *tightsched.SweepJournal
 		if *journal != "" {
-			j, err := openOrCreateJournal(*journal, *resume, sweep, shard)
+			var err error
+			j, err = openOrCreateJournal(*journal, *resume, sweep, shard)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "tables:", err)
 				os.Exit(1)
 			}
-			defer j.Close()
 			if n := j.DoneCount(); *resume && n > 0 {
 				fmt.Printf("# resuming: %d instances already journaled\n", n)
 			}
-			opts.Journal = j
+			runOpts = append(runOpts, tightsched.WithJournal(j))
 		}
 		var err error
-		res, err = exp.RunWith(sweep, opts)
+		res, err = session.RunSweep(ctx, sweep, runOpts...)
+		// Close the journal before acting on any error: a cancelled run
+		// must leave a flushed, resumable file, not a torn tail.
+		if j != nil {
+			if cerr := j.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr)
+				if *journal != "" {
+					fmt.Fprintf(os.Stderr, "tables: interrupted — journal %s is intact; rerun with -resume to continue\n", *journal)
+				} else {
+					fmt.Fprintln(os.Stderr, "tables: interrupted — no journal was attached; pass -journal to make long runs resumable")
+				}
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
@@ -251,43 +287,43 @@ func main() {
 	}
 	if *table == 3 {
 		fmt.Printf("\nTable III — results with m = 5 tasks per availability model (reference: IE)\n\n")
-		tables, err := res.TableIII(exp.ReferenceHeuristic)
+		tables, err := res.TableIII(tightsched.ReferenceHeuristic)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
-		fmt.Print(exp.FormatTableIII(tables))
+		fmt.Print(tightsched.FormatTableIII(tables))
 	}
 	if *figure == 2 {
 		fmt.Printf("\nFigure 2 — relative distance to IE vs wmin (m = 10)\n\n")
-		series, err := res.Figure2(exp.ReferenceHeuristic)
+		series, err := res.Figure2(tightsched.ReferenceHeuristic)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
 		names := []string{"E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"}
-		fmt.Print(exp.FormatFigure2(series, names))
+		fmt.Print(tightsched.FormatFigure2(series, names))
 	}
 }
 
 // sweepHeuristics returns the campaign's resolved heuristic list.
-func sweepHeuristics(sweep exp.Sweep) []string { return sweep.Spec().Heuristics }
+func sweepHeuristics(sweep tightsched.Sweep) []string { return sweep.Spec().Heuristics }
 
 // openOrCreateJournal resumes an existing journal file or starts a fresh
 // one; with -resume a missing file is created instead of failing, so one
 // command line works both on first run and on restart after a crash.
-func openOrCreateJournal(path string, resume bool, sweep exp.Sweep, shard exp.Shard) (*exp.Journal, error) {
+func openOrCreateJournal(path string, resume bool, sweep tightsched.Sweep, shard tightsched.SweepShard) (*tightsched.SweepJournal, error) {
 	if resume {
 		if _, err := os.Stat(path); err == nil {
-			return exp.OpenJournal(path)
+			return tightsched.OpenSweepJournal(path)
 		} else if !os.IsNotExist(err) {
 			return nil, err
 		}
 	}
-	return exp.CreateJournal(path, sweep, shard)
+	return tightsched.CreateSweepJournal(path, sweep, shard)
 }
 
-func modelNames(sweep exp.Sweep) []string {
+func modelNames(sweep tightsched.Sweep) []string {
 	if len(sweep.Models) == 0 {
 		return []string{"markov"}
 	}
@@ -298,14 +334,14 @@ func modelNames(sweep exp.Sweep) []string {
 	return names
 }
 
-func printTable(res *exp.Result) {
-	rows, err := res.Table(exp.ReferenceHeuristic)
+func printTable(res *tightsched.SweepResult) {
+	rows, err := res.Table(tightsched.ReferenceHeuristic)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
-	fmt.Print(exp.FormatTable(rows))
-	if counter := res.RefFailureDominance(exp.ReferenceHeuristic); counter == 0 {
+	fmt.Print(tightsched.FormatTable(rows))
+	if counter := res.RefFailureDominance(tightsched.ReferenceHeuristic); counter == 0 {
 		fmt.Println("\nrobustness: whenever IE fails, every other heuristic fails too (as in the paper)")
 	} else {
 		fmt.Printf("\nrobustness: %d instances where IE failed but another heuristic succeeded\n", counter)

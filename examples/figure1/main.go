@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,6 +45,15 @@ func (figure1Heuristic) Decide(v *sched.View) app.Assignment {
 	return asg
 }
 
+// init plugs the scripted policy into the open heuristic registry: the
+// simulator then resolves it by name, exactly as it would a paper
+// heuristic or any policy registered from outside internal/sched.
+func init() {
+	sched.MustRegister("FIGURE1", func(*sched.Env) (sched.Heuristic, error) {
+		return figure1Heuristic{}, nil
+	})
+}
+
 func main() {
 	procs := make([]platform.Processor, 5)
 	for i := range procs {
@@ -70,13 +80,13 @@ func main() {
 	}
 
 	rec := &trace.Recorder{}
-	res, err := sim.Run(sim.Config{
-		Platform: pl,
-		App:      app.Application{Tasks: 5, Tprog: 2, Tdata: 1, Iterations: 1},
-		Custom:   figure1Heuristic{},
-		Provider: &sim.ScriptProvider{Script: script},
-		Recorder: rec,
-		Cap:      100,
+	res, err := sim.RunContext(context.Background(), sim.Config{
+		Platform:  pl,
+		App:       app.Application{Tasks: 5, Tprog: 2, Tdata: 1, Iterations: 1},
+		Heuristic: "FIGURE1", // resolved through the registry (see init)
+		Provider:  &sim.ScriptProvider{Script: script},
+		Recorder:  rec,
+		Cap:       100,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -111,8 +112,11 @@ func main() {
 	fmt.Printf("grid: 4 fast-but-reclaimed lab machines (w=2), 8 steady office machines (w=6)\n")
 	fmt.Printf("application: 8 coupled tasks/iteration, %d iterations, ncom=4\n\n", iterations)
 
-	sums, err := tightsched.Compare(sc, []string{"Y-IE", "IE", "IP", "RANDOM"}, 5, 3,
-		tightsched.Options{Cap: 400_000})
+	session := tightsched.NewSession(
+		tightsched.WithCap(400_000),
+		tightsched.WithSeed(3), // the base seed the 5 trial realizations derive from
+	)
+	sums, err := session.Compare(context.Background(), sc, []string{"Y-IE", "IE", "IP", "RANDOM"}, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,17 +23,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"tightsched"
 	"tightsched/internal/app"
 	"tightsched/internal/avail"
-	"tightsched/internal/core"
 	"tightsched/internal/markov"
 	"tightsched/internal/platform"
 )
 
 const procs = 12
+
+// capSlots is the failure limit shared by both ground truths.
+const capSlots = 400_000
 
 // truth builds processor q's real availability process: heavy-tailed UP
 // periods, moderate RECLAIMED periods, short DOWN periods; upon leaving
@@ -70,7 +74,7 @@ func main() {
 	for q := range ps {
 		ps[q] = platform.Processor{Speed: 1 + q%4, Capacity: 6, Avail: fitted[q]}
 	}
-	sc := core.Scenario{
+	sc := tightsched.Scenario{
 		Platform: &platform.Platform{Procs: ps, Ncom: 6},
 		App:      app.Application{Tasks: 6, Tprog: 5, Tdata: 1, Iterations: 10},
 	}
@@ -80,10 +84,12 @@ func main() {
 	fmt.Printf("%-8s %16s %16s\n", "policy", "semi-Markov truth", "Markov (lab)")
 
 	const trials = 8
-	const cap = 400_000
 	names := []string{"Y-IE", "P-IE", "IE", "IAY", "RANDOM"}
-	real := compare(sc, names, trials, core.Options{Cap: cap, Model: model})
-	lab := compare(sc, names, trials, core.Options{Cap: cap})
+	// One session, two ground truths: WithModel attaches the semi-Markov
+	// truth per call; without it the fitted chains are the truth.
+	session := tightsched.NewSession(tightsched.WithCap(capSlots), tightsched.WithSeed(100))
+	real := compare(session, sc, names, trials, tightsched.WithModel(model))
+	lab := compare(session, sc, names, trials)
 	for i, name := range names {
 		fmt.Printf("%-8s %16.0f %16.0f\n", name, real[i], lab[i])
 	}
@@ -98,17 +104,17 @@ func main() {
 
 // compare returns the per-heuristic mean makespan over all trials —
 // capped (failed) trials count at the cap, as in the paper's #fails
-// accounting — under the options' ground truth.
-func compare(sc core.Scenario, names []string, trials int, opt core.Options) []float64 {
-	sums, err := core.Compare(sc, names, trials, 100, opt)
+// accounting — under the ground truth the options select.
+func compare(session *tightsched.Session, sc tightsched.Scenario, names []string, trials int, opts ...tightsched.Option) []float64 {
+	sums, err := session.Compare(context.Background(), sc, names, trials, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	means := make([]float64, len(sums))
 	for i, s := range sums {
-		means[i] = float64(opt.Cap)
+		means[i] = capSlots
 		if succeeded := float64(trials - s.Fails); succeeded > 0 {
-			means[i] = (s.Makespan.Mean*succeeded + float64(opt.Cap)*float64(s.Fails)) / float64(trials)
+			means[i] = (s.Makespan.Mean*succeeded + capSlots*float64(s.Fails)) / float64(trials)
 		}
 	}
 	return means

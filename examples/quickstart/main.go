@@ -1,5 +1,6 @@
 // Quickstart: simulate a tightly-coupled iterative application on a
-// volatile desktop grid and compare two schedulers.
+// volatile desktop grid and compare two schedulers, through the
+// context-aware Session API.
 //
 // Run with:
 //
@@ -7,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +16,12 @@ import (
 )
 
 func main() {
+	// A Session is the entry point: options passed here apply to every
+	// call made through it, and every call takes a context — cancel it
+	// to stop a simulation at the next slot boundary.
+	ctx := context.Background()
+	session := tightsched.NewSession()
+
 	// A paper-style random scenario: 5 coupled tasks per iteration, a
 	// master that can talk to 10 workers at once, and per-task speeds
 	// drawn from [2, 20] slots (wmin = 2). The platform has 20 volatile
@@ -24,7 +32,7 @@ func main() {
 	// Ask the Section V estimator a question before running anything:
 	// if workers 0, 1 and 2 execute a 10-slot coupled computation, how
 	// likely is it to finish without a crash, and how long will it take?
-	est, err := tightsched.Estimate(sc, []int{0, 1, 2}, 10)
+	est, err := session.Estimate(ctx, sc, []int{0, 1, 2}, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +45,7 @@ func main() {
 	// paper's best heuristic, Y-IE — proactive, yield-switched, with
 	// expected-completion-time worker selection — and under RANDOM.
 	for _, h := range []string{"Y-IE", "IE", "RANDOM"} {
-		res, err := tightsched.Run(sc, h, tightsched.Options{Seed: 7})
+		res, err := session.Run(ctx, sc, h, tightsched.WithSeed(7))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +26,10 @@ import (
 )
 
 func main() {
+	session := tightsched.NewSession(
+		tightsched.WithCap(300_000),
+		tightsched.WithSeed(17), // the base seed the trial realizations derive from
+	)
 	fmt.Println("volatility sweep: 12 processors, 6 coupled tasks, 10 iterations")
 	fmt.Println()
 	fmt.Printf("%-12s %10s %10s %10s %10s\n", "stay-UP", "Y-IE", "IE", "IP", "RANDOM")
@@ -52,8 +57,7 @@ func main() {
 				Tasks: 6, Tprog: 5, Tdata: 1, Iterations: 10,
 			},
 		}
-		sums, err := tightsched.Compare(sc, []string{"Y-IE", "IE", "IP", "RANDOM"}, 6, 17,
-			tightsched.Options{Cap: 300_000})
+		sums, err := session.Compare(context.Background(), sc, []string{"Y-IE", "IE", "IP", "RANDOM"}, 6)
 		if err != nil {
 			log.Fatal(err)
 		}

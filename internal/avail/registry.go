@@ -2,17 +2,85 @@ package avail
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"tightsched/internal/markov"
 )
 
-// BuiltinNames returns the names accepted by Builtin, in presentation
-// order.
-func BuiltinNames() []string {
-	return []string{"markov", "semimarkov", "lognormal"}
+// This file is the open availability-model registry: the models resolvable
+// by name — in command-line flags, journal headers and the façade — live
+// behind one string-keyed table. The three built-ins self-register at
+// package init; a Register call from outside this package makes a new
+// ground-truth model selectable per run, per platform and per sweep axis,
+// and lets journaled campaigns that used it resume headlessly.
+
+// Factory returns a fresh model instance. Builtin calls it once per
+// resolution, so stateful models (calibration memos) start clean for every
+// caller that resolves the name.
+type Factory func() Model
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+}{factories: map[string]Factory{}}
+
+// Register makes a model constructible by name through Builtin (and
+// therefore through journal resume and the façade's ModelByName). The
+// factory is invoked once immediately: its model's Name() must equal the
+// registered name, so that experiment tables, journal specs and resolution
+// agree on the label. Duplicate names — built-ins included — error.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("avail: Register with empty model name")
+	}
+	if f == nil {
+		return fmt.Errorf("avail: Register(%q) with nil factory", name)
+	}
+	m := f()
+	if m == nil {
+		return fmt.Errorf("avail: Register(%q) factory returned nil", name)
+	}
+	if got := m.Name(); got != name {
+		return fmt.Errorf("avail: Register(%q) factory builds a model named %q", name, got)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		return fmt.Errorf("avail: model %q already registered", name)
+	}
+	registry.factories[name] = f
+	return nil
 }
 
-// Builtin returns a fresh first-class model by name:
+// MustRegister is Register that panics on error, for init-time
+// registration of a package's own models.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns every registered model name, sorted. The slice is a fresh
+// copy: callers may mutate it freely.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuiltinNames returns the names accepted by Builtin.
+//
+// Deprecated: it is an alias for Names, which covers registered extras
+// too; new code should call Names.
+func BuiltinNames() []string { return Names() }
+
+// Builtin returns a fresh registered model by name. Out of the box:
 //
 //	markov     — the paper's Markov chains (exact believed matrices)
 //	semimarkov — heavy-tailed Weibull(0.6) UP holding times with fitted
@@ -20,14 +88,21 @@ func BuiltinNames() []string {
 //	lognormal  — Log-Normal holding times in every state (sigma 0.75)
 //
 // Use it to resolve command-line model selections; library callers can
-// also construct and tune models directly.
+// also construct and tune models directly, or Register their own.
 func Builtin(name string) (Model, error) {
-	switch name {
-	case "markov":
-		return MarkovModel{}, nil
-	case "semimarkov":
-		return NewSemiMarkov(0.6), nil
-	case "lognormal":
+	registry.RLock()
+	f, ok := registry.factories[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("avail: unknown model %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+func init() {
+	MustRegister("markov", func() Model { return MarkovModel{} })
+	MustRegister("semimarkov", func() Model { return NewSemiMarkov(0.6) })
+	MustRegister("lognormal", func() Model {
 		return &SemiMarkovModel{
 			Label: "lognormal",
 			Hold: [markov.NumStates]HoldingSpec{
@@ -35,8 +110,6 @@ func Builtin(name string) (Model, error) {
 				{Dist: DistLogNormal, Shape: 0.75},
 				{Dist: DistLogNormal, Shape: 0.75},
 			},
-		}, nil
-	default:
-		return nil, fmt.Errorf("avail: unknown model %q (have %v)", name, BuiltinNames())
-	}
+		}
+	})
 }

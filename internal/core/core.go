@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -89,10 +90,16 @@ type Options struct {
 
 // Run simulates the scenario under the named heuristic.
 func Run(sc Scenario, heuristic string, opt Options) (sim.Result, error) {
+	return RunContext(context.Background(), sc, heuristic, opt)
+}
+
+// RunContext is Run under a context, checked at every slot boundary of
+// the simulation (see sim.RunContext).
+func RunContext(ctx context.Context, sc Scenario, heuristic string, opt Options) (sim.Result, error) {
 	if err := sc.Validate(); err != nil {
 		return sim.Result{}, err
 	}
-	return sim.Run(sim.Config{
+	return sim.RunContext(ctx, sim.Config{
 		Platform:     sc.Platform,
 		App:          sc.App,
 		Heuristic:    heuristic,
@@ -122,6 +129,13 @@ type HeuristicSummary struct {
 // realizations (one per trial seed) and summarizes each. Runs execute in
 // parallel; results are deterministic.
 func Compare(sc Scenario, heuristics []string, trials int, baseSeed uint64, opt Options) ([]HeuristicSummary, error) {
+	return CompareContext(context.Background(), sc, heuristics, trials, baseSeed, opt)
+}
+
+// CompareContext is Compare under a context: cancellation is checked at
+// every (heuristic, trial) instance boundary — a cancelled comparison
+// starts no new runs — and inside each run at slot boundaries.
+func CompareContext(ctx context.Context, sc Scenario, heuristics []string, trials int, baseSeed uint64, opt Options) ([]HeuristicSummary, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -148,7 +162,11 @@ func Compare(sc Scenario, heuristics []string, trials int, baseSeed uint64, opt 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = Run(sc, heuristics[j.h], Options{
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = RunContext(ctx, sc, heuristics[j.h], Options{
 				Seed:         rng.NewKeyed(baseSeed, uint64(j.trial)).Uint64(),
 				Cap:          opt.Cap,
 				InitialAllUp: opt.InitialAllUp,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"reflect"
@@ -73,15 +74,16 @@ func (s *Sweep) Spec() SweepSpec {
 }
 
 // Sweep reconstructs a runnable campaign from the spec. Models are
-// resolved through avail.Builtin, so a journal of a campaign that used
-// custom (non-built-in) models cannot be reconstructed headlessly: resume
-// those with RunWith, passing the original Sweep alongside OpenJournal.
+// resolved by name through the open registry (avail.Builtin), so any
+// built-in or avail.Register'd model reconstructs headlessly; only a
+// model constructed directly and never registered cannot — resume those
+// with RunWith, passing the original Sweep alongside OpenJournal.
 func (sp SweepSpec) Sweep() (Sweep, error) {
 	s := sp.sweepDims()
 	for _, name := range sp.Models {
 		m, err := avail.Builtin(name)
 		if err != nil {
-			return Sweep{}, fmt.Errorf("exp: journal model %q is not built-in; resume with RunWith and the original Sweep: %w", name, err)
+			return Sweep{}, fmt.Errorf("exp: journal model %q is not registered; resume with RunWith and the original Sweep: %w", name, err)
 		}
 		s.Models = append(s.Models, m)
 	}
@@ -293,10 +295,21 @@ func (j *Journal) matches(s *Sweep, shard Shard) error {
 // the header reconstructs the sweep, recorded instances are trusted
 // as-is, and only the missing (model, point, trial, heuristic) instances
 // are re-run — each from its coordinate-derived seed, so the final Result
-// is bit-identical to an uninterrupted run's. Campaigns with custom
-// (non-built-in) availability models must instead resume via RunWith with
-// the original Sweep and OpenJournal.
+// is bit-identical to an uninterrupted run's. Models resolve by name
+// through the open registry; only campaigns whose availability models
+// were never registered must instead resume via RunWith with the
+// original Sweep and OpenJournal.
 func Resume(journalPath string, progress func(done, total int)) (*Result, error) {
+	return ResumeWith(context.Background(), journalPath, RunOptions{Progress: progress})
+}
+
+// ResumeWith is Resume under a context with full consumption options:
+// the journal and shard are read from the file (the Journal and Shard
+// fields of opts are ignored), everything else — progress, sink,
+// observer, instance discarding — applies as in RunWithContext. The
+// journal is closed, flushed and resumable again when ResumeWith returns,
+// whether the campaign completed or the context was cancelled.
+func ResumeWith(ctx context.Context, journalPath string, opts RunOptions) (*Result, error) {
 	j, err := OpenJournal(journalPath)
 	if err != nil {
 		return nil, err
@@ -306,7 +319,9 @@ func Resume(journalPath string, progress func(done, total int)) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return RunWith(sweep, RunOptions{Progress: progress, Journal: j, Shard: j.Shard()})
+	opts.Journal = j
+	opts.Shard = j.Shard()
+	return RunWithContext(ctx, sweep, opts)
 }
 
 // LoadJournal reads a journal into a Result without running anything or

@@ -1,0 +1,303 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"runtime"
+	"sync"
+
+	"tightsched/internal/analytic"
+	"tightsched/internal/avail"
+)
+
+// This file is the streamed campaign-event API: Stream runs a sweep's
+// worker pool and delivers completions as a Go 1.23+ range-over-func
+// iterator instead of a callback, which is what the RunWith family and
+// the façade Session are built on. Three event kinds flow, all emitted
+// from the consumer's goroutine in completion order:
+//
+//   - InstanceDone — one (model, point, trial, heuristic) result, already
+//     journaled when a journal is attached;
+//   - PointDone — every instance of one (model, point) cell has finished,
+//     the granularity at which partial tables become meaningful;
+//   - Progress — completion counters, emitted after each live instance
+//     and once after journal replay.
+//
+// Breaking out of the loop (or cancelling the context) shuts the pool
+// down without leaking goroutines and leaves any journal resumable.
+
+// Event is one item of a campaign's event stream. The concrete types are
+// InstanceDone, PointDone and Progress.
+type Event interface{ sweepEvent() }
+
+// InstanceDone carries one completed instance. Completed/Total count
+// instances, including journal-replayed ones.
+type InstanceDone struct {
+	Instance InstanceResult
+	// Replayed marks an instance recovered from the journal rather than
+	// simulated in this run (resume skips recorded work).
+	Replayed  bool
+	Completed int
+	Total     int
+}
+
+// PointDone signals that every (trial, heuristic) instance of one
+// (model, point) cell has completed — the unit at which same-realization
+// heuristic comparisons are complete.
+type PointDone struct {
+	Model           string
+	Point           Point
+	CompletedPoints int
+	TotalPoints     int
+}
+
+// Progress reports completion counters: it follows every live
+// InstanceDone, plus one summary event after journal replay.
+type Progress struct {
+	Completed int
+	Total     int
+}
+
+func (InstanceDone) sweepEvent() {}
+func (PointDone) sweepEvent()    {}
+func (Progress) sweepEvent()     {}
+
+// Observer receives typed campaign events. RunWith-family calls invoke it
+// from a single goroutine, in completion order; implementations need no
+// internal locking.
+type Observer interface {
+	OnInstanceDone(InstanceDone)
+	OnPointDone(PointDone)
+	OnProgress(Progress)
+}
+
+// pointKey identifies one (model, point) cell of the grid.
+type pointKey struct {
+	Model string
+	Point Point
+}
+
+// Stream executes the campaign and returns its event stream. Iteration
+// drives the run: the worker pool simulates instances concurrently while
+// events are yielded — journaled first, when opts.Journal is set — on the
+// consumer's goroutine in completion order. The stream is single-use.
+//
+// Cancelling ctx stops the campaign at instance boundaries (and mid-run
+// at slot boundaries); the stream then ends with the context's error.
+// Breaking out of the loop early cancels the same way but yields no
+// error, per the iterator contract. Either way no goroutines are leaked
+// and an attached journal holds every completed instance, so a later
+// Resume reproduces the uninterrupted result bit for bit.
+//
+// Only the execution fields of opts (Journal, Shard, Workers) apply
+// here; the consumption fields (Progress, Sink, Observer,
+// DiscardInstances) belong to the RunWith family, for which the stream
+// itself is the delivery mechanism.
+func Stream(ctx context.Context, sweep Sweep, opts RunOptions) iter.Seq2[Event, error] {
+	return func(yield func(Event, error) bool) {
+		if err := sweep.Validate(); err != nil {
+			yield(nil, err)
+			return
+		}
+		if err := opts.Shard.Validate(); err != nil {
+			yield(nil, err)
+			return
+		}
+		if opts.Journal != nil {
+			if err := opts.Journal.matches(&sweep, opts.Shard); err != nil {
+				yield(nil, err)
+				return
+			}
+		}
+		heuristics := sweep.heuristics()
+		modelByName := map[string]avail.Model{}
+		for _, m := range sweep.models() {
+			modelByName[m.Name()] = m
+		}
+
+		type job struct {
+			c Coord
+			h string
+		}
+		var jobs []job
+		var prior []InstanceResult
+		remaining := map[pointKey]int{}
+		for idx, c := range sweep.Coords() {
+			if !opts.Shard.Covers(idx) {
+				continue
+			}
+			for _, h := range heuristics {
+				remaining[pointKey{c.Model, c.Point}]++
+				if opts.Journal != nil {
+					if inst, ok := opts.Journal.Done(Key{c.Model, c.Point.Ncom, c.Point.Wmin, c.Point.Scenario, c.Trial, h}); ok {
+						prior = append(prior, inst)
+						continue
+					}
+				}
+				jobs = append(jobs, job{c, h})
+			}
+		}
+		total := len(jobs) + len(prior)
+		totalPoints := len(remaining)
+		completed, completedPoints := 0, 0
+
+		// emitInstance yields the InstanceDone event (and the PointDone
+		// it may complete) and reports whether the consumer wants more.
+		emitInstance := func(inst InstanceResult, replayed bool) bool {
+			completed++
+			if !yield(InstanceDone{Instance: inst, Replayed: replayed, Completed: completed, Total: total}, nil) {
+				return false
+			}
+			pk := pointKey{modelName(inst), inst.Point}
+			remaining[pk]--
+			if remaining[pk] == 0 {
+				completedPoints++
+				if !yield(PointDone{Model: pk.Model, Point: pk.Point,
+					CompletedPoints: completedPoints, TotalPoints: totalPoints}, nil) {
+					return false
+				}
+			}
+			return true
+		}
+
+		// Journal replay first, in canonical order, then one summary
+		// Progress event — resuming consumers see recorded work exactly
+		// once without a per-instance progress storm. Replay honors
+		// cancellation at instance boundaries like the live pool does, so
+		// a cancelled campaign never masquerades as a completed one even
+		// when everything is already journaled.
+		sortInstances(prior)
+		for _, inst := range prior {
+			if err := ctx.Err(); err != nil {
+				yield(nil, err)
+				return
+			}
+			if !emitInstance(inst, true) {
+				return
+			}
+		}
+		if len(prior) > 0 {
+			if !yield(Progress{Completed: completed, Total: total}, nil) {
+				return
+			}
+		}
+		if len(jobs) == 0 {
+			return
+		}
+
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		workers := sweep.Workers
+		if opts.Workers > 0 {
+			workers = opts.Workers
+		}
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+
+		jobCh := make(chan int)
+		resCh := make(chan InstanceResult, workers)
+		errCh := make(chan error, workers)
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cache := analytic.NewPlatformCache()
+				for idx := range jobCh {
+					j := jobs[idx]
+					// Instance boundary: a cancelled campaign starts no
+					// new simulations.
+					if ctx.Err() != nil {
+						return
+					}
+					res, err := runInstance(ctx, &sweep, modelByName[j.c.Model], j.c.Point, j.c.Trial, j.h, cache)
+					if err != nil {
+						// A run aborted by cancellation is not a campaign
+						// failure; the stream reports the context's error
+						// once, at the end.
+						if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+							select {
+							case errCh <- err:
+							default:
+							}
+						}
+						cancel()
+						return
+					}
+					inst := InstanceResult{
+						Point:     j.c.Point,
+						Trial:     j.c.Trial,
+						Model:     j.c.Model,
+						Heuristic: j.h,
+						Makespan:  res.Makespan,
+						Failed:    res.Failed,
+					}
+					select {
+					case resCh <- inst:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		go func() { // feeder
+			defer close(jobCh)
+			for idx := range jobs {
+				select {
+				case jobCh <- idx:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		go func() { // closer: resCh ends exactly when the pool has exited
+			wg.Wait()
+			close(resCh)
+		}()
+
+		// shutdown stops the pool and blocks until every worker has
+		// exited, so returning from the iterator never leaks goroutines.
+		// Results still queued when the consumer quits are dropped
+		// without journaling — a later Resume re-runs exactly those.
+		shutdown := func() {
+			cancel()
+			for range resCh {
+			}
+		}
+
+		// The iterator's caller is the collector: journal appends happen
+		// here, before the event is yielded, so every instance a consumer
+		// observes is already durable.
+		for inst := range resCh {
+			if opts.Journal != nil {
+				if err := opts.Journal.Append(inst); err != nil {
+					shutdown()
+					yield(nil, err)
+					return
+				}
+			}
+			if !emitInstance(inst, false) || !yield(Progress{Completed: completed, Total: total}, nil) {
+				shutdown()
+				return
+			}
+		}
+		// Pool exited. Surface a worker error, or the cancellation that
+		// cut the campaign short.
+		select {
+		case err := <-errCh:
+			yield(nil, err)
+			return
+		default:
+		}
+		if err := ctx.Err(); err != nil && completed < total {
+			yield(nil, err)
+		}
+	}
+}

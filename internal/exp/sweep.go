@@ -7,10 +7,9 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"tightsched/internal/analytic"
 	"tightsched/internal/app"
@@ -95,16 +94,10 @@ func (s *Sweep) Validate() error {
 	if len(s.Ncoms) == 0 || len(s.Wmins) == 0 || s.Scenarios <= 0 || s.Trials <= 0 {
 		return fmt.Errorf("exp: empty sweep dimensions %+v", s)
 	}
-	known := append(sched.Names(), sched.ExtendedNames()...)
+	// Names resolve through the open registry, so heuristics plugged in
+	// via sched.Register are first-class sweep axes.
 	for _, h := range s.heuristics() {
-		found := false
-		for _, k := range known {
-			if h == k {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if _, ok := sched.Lookup(h); !ok {
 			return fmt.Errorf("exp: unknown heuristic %q", h)
 		}
 	}
@@ -224,10 +217,11 @@ func (s *Sweep) application(wmin int) app.Application {
 	}
 }
 
-// runInstance executes one simulation of the campaign. Model hooks run
-// arbitrary plugged-in code (e.g. a TraceModel panicking on a platform
-// size mismatch); a panic is converted into an error so the campaign
-// fails cleanly instead of crashing the worker pool.
+// runInstance executes one simulation of the campaign, checking ctx at
+// slot boundaries. Model hooks run arbitrary plugged-in code (e.g. a
+// TraceModel panicking on a platform size mismatch); a panic is converted
+// into an error so the campaign fails cleanly instead of crashing the
+// worker pool.
 //
 // cache is the calling worker's analytic platform cache: the trials and
 // heuristics of one sweep point share a believed matrix set, so routing
@@ -236,14 +230,14 @@ func (s *Sweep) application(wmin int) app.Application {
 // Memoized statistics are canonical, so results are bit-identical to
 // cache-free execution whatever the job interleaving — the cross-worker
 // determinism test pins this.
-func runInstance(s *Sweep, model avail.Model, pt Point, trial int, h string, cache *analytic.PlatformCache) (res sim.Result, err error) {
+func runInstance(ctx context.Context, s *Sweep, model avail.Model, pt Point, trial int, h string, cache *analytic.PlatformCache) (res sim.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("exp: model %s, point %+v, trial %d, heuristic %s: panic: %v",
 				model.Name(), pt, trial, h, p)
 		}
 	}()
-	return sim.Run(sim.Config{
+	return sim.RunContext(ctx, sim.Config{
 		Platform:      s.scenarioPlatform(pt),
 		App:           s.application(pt.Wmin),
 		Heuristic:     h,
@@ -258,6 +252,11 @@ func runInstance(s *Sweep, model avail.Model, pt Point, trial int, h string, cac
 // RunOptions tune campaign execution beyond the Sweep itself: journaling,
 // resuming, sharding, and streaming consumption. The zero value is a
 // plain in-memory run.
+//
+// The consumption fields (Progress, Sink, Observer, DiscardInstances)
+// apply to the RunWith family, which is built on the Stream event
+// iterator; Stream itself ignores them — its events are the delivery
+// mechanism.
 type RunOptions struct {
 	// Progress receives (completed, total) counts, including instances
 	// skipped because they were already journaled. It is called from a
@@ -271,11 +270,19 @@ type RunOptions struct {
 	// Shard restricts the run to one deterministic slice of the
 	// instance grid (see Sweep.Shard). The zero value runs everything.
 	Shard Shard
+	// Workers, when positive, overrides the sweep's worker-pool bound —
+	// the only way to bound a Resume, whose sweep is rebuilt from the
+	// journal spec (which deliberately omits runtime knobs).
+	Workers int
 	// Sink, when set, receives every completed instance as it finishes
 	// (after journaling), in completion order, from a single goroutine.
-	// A non-nil error aborts the campaign — already-journaled work
+	// Instances replayed from the journal are not re-delivered. A
+	// non-nil error aborts the campaign — already-journaled work
 	// survives for a later Resume.
 	Sink func(InstanceResult) error
+	// Observer, when set, receives every typed campaign event
+	// (InstanceDone, PointDone, Progress) from a single goroutine.
+	Observer Observer
 	// DiscardInstances drops per-instance results after journal/sink
 	// delivery instead of collecting them, bounding memory for huge
 	// campaigns whose aggregation happens elsewhere (e.g. exp.Merge over
@@ -295,148 +302,48 @@ func Run(sweep Sweep, progress func(done, total int)) (*Result, error) {
 // sink, and (unless discarded) collected — as they finish rather than
 // gathered at the end, so an interrupted run loses only in-flight work.
 func RunWith(sweep Sweep, opts RunOptions) (*Result, error) {
-	if err := sweep.Validate(); err != nil {
-		return nil, err
-	}
-	if err := opts.Shard.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.Journal != nil {
-		if err := opts.Journal.matches(&sweep, opts.Shard); err != nil {
+	return RunWithContext(context.Background(), sweep, opts)
+}
+
+// RunWithContext is RunWith under a context, consuming the Stream event
+// iterator: cancellation is checked at instance boundaries in the worker
+// pool and at slot boundaries inside each simulation, every already
+// completed instance is journaled before the campaign returns, and the
+// returned error is the context's. The journal is left resumable: a later
+// Resume re-runs only what was lost in flight and reproduces the
+// uninterrupted result bit for bit.
+func RunWithContext(ctx context.Context, sweep Sweep, opts RunOptions) (*Result, error) {
+	var collected []InstanceResult
+	for ev, err := range Stream(ctx, sweep, opts) {
+		if err != nil {
 			return nil, err
 		}
-	}
-	heuristics := sweep.heuristics()
-	modelByName := map[string]avail.Model{}
-	for _, m := range sweep.models() {
-		modelByName[m.Name()] = m
-	}
-
-	type job struct {
-		c Coord
-		h string
-	}
-	var jobs []job
-	var prior []InstanceResult
-	for idx, c := range sweep.Coords() {
-		if !opts.Shard.Covers(idx) {
-			continue
-		}
-		for _, h := range heuristics {
-			if opts.Journal != nil {
-				if inst, ok := opts.Journal.Done(Key{c.Model, c.Point.Ncom, c.Point.Wmin, c.Point.Scenario, c.Trial, h}); ok {
-					prior = append(prior, inst)
-					continue
-				}
-			}
-			jobs = append(jobs, job{c, h})
-		}
-	}
-	total := len(jobs) + len(prior)
-	completed := len(prior)
-	if opts.Progress != nil && completed > 0 {
-		opts.Progress(completed, total)
-	}
-
-	workers := sweep.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	jobCh := make(chan int)
-	resCh := make(chan InstanceResult, workers)
-	errCh := make(chan error, workers+1)
-	stop := make(chan struct{})
-	var stopOnce sync.Once
-	abort := func(err error) {
-		errCh <- err
-		stopOnce.Do(func() { close(stop) })
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cache := analytic.NewPlatformCache()
-			for idx := range jobCh {
-				j := jobs[idx]
-				res, err := runInstance(&sweep, modelByName[j.c.Model], j.c.Point, j.c.Trial, j.h, cache)
-				if err != nil {
-					abort(err)
-					return
-				}
-				inst := InstanceResult{
-					Point:     j.c.Point,
-					Trial:     j.c.Trial,
-					Model:     j.c.Model,
-					Heuristic: j.h,
-					Makespan:  res.Makespan,
-					Failed:    res.Failed,
-				}
-				select {
-				case resCh <- inst:
-				case <-stop:
-					return
-				}
-			}
-		}()
-	}
-
-	// One collector goroutine drains completions: it journals, feeds the
-	// sink and reports progress serially, so neither needs to be
-	// thread-safe, and the workers stay busy while I/O happens here.
-	collected := prior
-	if opts.DiscardInstances {
-		collected = nil
-	}
-	collectorDone := make(chan struct{})
-	go func() {
-		defer close(collectorDone)
-		for inst := range resCh {
-			if opts.Journal != nil {
-				if err := opts.Journal.Append(inst); err != nil {
-					abort(err)
-					return
-				}
-			}
-			if opts.Sink != nil {
-				if err := opts.Sink(inst); err != nil {
-					abort(err)
-					return
-				}
-			}
+		switch ev := ev.(type) {
+		case InstanceDone:
 			if !opts.DiscardInstances {
-				collected = append(collected, inst)
+				collected = append(collected, ev.Instance)
 			}
-			completed++
+			if !ev.Replayed && opts.Sink != nil {
+				if err := opts.Sink(ev.Instance); err != nil {
+					return nil, err
+				}
+			}
+			if opts.Observer != nil {
+				opts.Observer.OnInstanceDone(ev)
+			}
+		case PointDone:
+			if opts.Observer != nil {
+				opts.Observer.OnPointDone(ev)
+			}
+		case Progress:
 			if opts.Progress != nil {
-				opts.Progress(completed, total)
+				opts.Progress(ev.Completed, ev.Total)
+			}
+			if opts.Observer != nil {
+				opts.Observer.OnProgress(ev)
 			}
 		}
-	}()
-
-feed:
-	for idx := range jobs {
-		select {
-		case jobCh <- idx:
-		case <-stop:
-			break feed
-		}
 	}
-	close(jobCh)
-	wg.Wait()
-	close(resCh)
-	<-collectorDone
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
-	}
-
 	sortInstances(collected)
 	return &Result{Sweep: sweep, Instances: collected}, nil
 }

@@ -258,10 +258,20 @@ func Names() []string {
 }
 
 // Build constructs the named heuristic over the environment. Valid names
-// are those returned by Names plus the extension baselines of
-// ExtendedNames.
+// are those in the registry: Names(), ExtendedNames(), and anything
+// plugged in through Register.
 func Build(name string, env *Env) (Heuristic, error) {
 	env.validate()
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown heuristic %q (have %v)", name, Registered())
+	}
+	return f(env)
+}
+
+// buildBuiltin constructs one of the package's own heuristics; the
+// registry's init wraps it into per-name factories.
+func buildBuiltin(name string, env *Env) (Heuristic, error) {
 	if name == "RANDOM" {
 		if env.Rand == nil {
 			return nil, fmt.Errorf("sched: RANDOM requires Env.Rand")

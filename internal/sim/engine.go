@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"tightsched/internal/analytic"
@@ -152,6 +153,15 @@ type engine struct {
 
 // Run executes one simulation and returns its result.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: cancellation is checked at every
+// slot boundary, so even a run heading for a million-slot cap stops
+// promptly. A cancelled run returns the partial Result accumulated so far
+// (Makespan = slots executed, Failed unset) together with the context's
+// error. An uncancellable context costs nothing on the slot loop.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Platform == nil {
 		return Result{}, fmt.Errorf("sim: nil platform")
 	}
@@ -229,11 +239,23 @@ func Run(cfg Config) (Result, error) {
 		acts:    make([]trace.Activity, p),
 		res:     Result{Heuristic: h.Name()},
 	}
-	return e.run()
+	return e.run(ctx)
 }
 
-func (e *engine) run() (Result, error) {
+func (e *engine) run(ctx context.Context) (Result, error) {
+	// Done is nil for uncancellable contexts, so the paper-faithful batch
+	// path pays nothing; otherwise one non-blocking channel poll per slot
+	// bounds cancellation latency to a single slot of work.
+	done := ctx.Done()
 	for slot := int64(0); slot < e.cap; slot++ {
+		if done != nil {
+			select {
+			case <-done:
+				e.res.Makespan = slot
+				return e.res, ctx.Err()
+			default:
+			}
+		}
 		e.prov.States(slot, e.states)
 		event := e.handleDowns()
 

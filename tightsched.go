@@ -24,9 +24,18 @@
 //
 // Quickstart:
 //
+//	s := tightsched.NewSession()
 //	sc := tightsched.PaperScenario(5, 10, 2, 42)
-//	res, err := tightsched.Run(sc, "Y-IE", tightsched.Options{Seed: 1})
+//	res, err := s.Run(ctx, sc, "Y-IE", tightsched.WithSeed(1))
 //	// res.Makespan is the number of slots to complete 10 iterations.
+//
+// The Session API (session.go) is the primary surface: every entry point
+// takes a context.Context honored at slot and instance boundaries,
+// configuration flows through functional options (WithSeed, WithModel,
+// WithJournal, ...), campaigns stream typed events (Session.Stream,
+// Observer), and new heuristics/availability models plug in by name via
+// RegisterHeuristic/RegisterModel. The struct-options functions kept in
+// this file are deprecated shims over the same implementations.
 //
 // See the examples/ directory and DESIGN.md for the full tour.
 package tightsched
@@ -108,8 +117,11 @@ func NewTraceModel(label string, perProc []string) (*TraceModel, error) {
 	return avail.NewTraceModel(label, perProc)
 }
 
-// AvailabilityModels returns the names accepted by ModelByName.
-func AvailabilityModels() []string { return avail.BuiltinNames() }
+// AvailabilityModels returns the names accepted by ModelByName — the
+// three built-ins plus anything plugged in through RegisterModel —
+// sorted. The slice is a defensive copy; mutating it cannot corrupt the
+// registry.
+func AvailabilityModels() []string { return avail.Names() }
 
 // ModelByName returns a fresh built-in availability model by name.
 func ModelByName(name string) (AvailabilityModel, error) { return avail.Builtin(name) }
@@ -173,21 +185,37 @@ func PaperScenario(m, ncom, wmin int, seed uint64) Scenario {
 	return core.PaperScenario(m, ncom, wmin, seed)
 }
 
-// Heuristics returns the paper's 17 heuristic names.
-func Heuristics() []string { return core.Heuristics() }
+// Heuristics returns the names of every registered heuristic — the
+// paper's 17, the extension baselines, and anything plugged in through
+// RegisterHeuristic — sorted. The slice is a defensive copy; mutating it
+// cannot corrupt the registry. PaperHeuristics returns just the paper's
+// set in its presentation order.
+func Heuristics() []string { return sched.Registered() }
+
+// PaperHeuristics returns the paper's 17 heuristic names in the paper's
+// order (the default heuristic set of Compare and sweeps). The slice is a
+// fresh copy.
+func PaperHeuristics() []string { return core.Heuristics() }
 
 // Run simulates a scenario under the named heuristic.
+//
+// Deprecated: use Session.Run, which adds cancellation and functional
+// options. This shim is kept for the golden tests' frozen entry points.
 func Run(sc Scenario, heuristic string, opt Options) (Result, error) {
 	return core.Run(sc, heuristic, opt)
 }
 
 // Compare runs several heuristics over shared availability realizations.
+//
+// Deprecated: use Session.Compare.
 func Compare(sc Scenario, heuristics []string, trials int, baseSeed uint64, opt Options) ([]HeuristicSummary, error) {
 	return core.Compare(sc, heuristics, trials, baseSeed, opt)
 }
 
 // Estimate computes P⁺, success probability and conditional expected
 // duration for a worker set executing w coupled compute slots.
+//
+// Deprecated: use Session.Estimate.
 func Estimate(sc Scenario, workers []int, w int) (SetEstimate, error) {
 	return core.Estimate(sc, workers, w)
 }
@@ -199,6 +227,9 @@ func PaperSweep(m int) Sweep { return exp.PaperSweep(m) }
 func QuickSweep(m int) Sweep { return exp.QuickSweep(m) }
 
 // RunSweep executes a campaign (in parallel; deterministic).
+//
+// Deprecated: use Session.RunSweep (cancellation, functional options) or
+// Session.Stream (typed events instead of a callback).
 func RunSweep(sweep Sweep, progress func(done, total int)) (*SweepResult, error) {
 	return exp.Run(sweep, progress)
 }
@@ -207,6 +238,8 @@ func RunSweep(sweep Sweep, progress func(done, total int)) (*SweepResult, error)
 // options: completed instances stream to the journal and sink as they
 // finish, so an interrupted campaign loses only in-flight work and a
 // sharded one can run as n disjoint jobs.
+//
+// Deprecated: use Session.RunSweep with WithJournal/WithShard/WithSink.
 func RunSweepWith(sweep Sweep, opts SweepOptions) (*SweepResult, error) {
 	return exp.RunWith(sweep, opts)
 }
@@ -225,6 +258,8 @@ func OpenSweepJournal(path string) (*SweepJournal, error) {
 
 // ResumeSweep continues an interrupted journaled campaign from its file
 // alone; the result is bit-identical to an uninterrupted run's.
+//
+// Deprecated: use Session.ResumeSweep.
 func ResumeSweep(journalPath string, progress func(done, total int)) (*SweepResult, error) {
 	return exp.Resume(journalPath, progress)
 }
@@ -238,5 +273,26 @@ func MergeSweepJournals(paths ...string) (*SweepResult, error) {
 // ParseSweepShard parses the command-line shard form "i/n" (0-based).
 func ParseSweepShard(s string) (SweepShard, error) { return exp.ParseShard(s) }
 
+// ReferenceHeuristic is the comparison baseline of the paper's tables
+// (IE): the heuristic every relative metric is computed against.
+const ReferenceHeuristic = exp.ReferenceHeuristic
+
+// Aggregation slices (see the methods on SweepResult).
+type (
+	// SweepModelTable is one availability model's Table III slice.
+	SweepModelTable = exp.ModelTable
+	// SweepSeriesPoint is one (wmin, %diff) point of a Figure 2 series.
+	SweepSeriesPoint = exp.SeriesPoint
+)
+
 // FormatTable renders aggregated rows in the paper's table layout.
 func FormatTable(rows []TableRow) string { return exp.FormatTable(rows) }
+
+// FormatTableIII renders the per-model tables of SweepResult.TableIII.
+func FormatTableIII(tables []SweepModelTable) string { return exp.FormatTableIII(tables) }
+
+// FormatFigure2 renders the %diff-versus-wmin series of
+// SweepResult.Figure2 for the named heuristics.
+func FormatFigure2(series map[string][]SweepSeriesPoint, names []string) string {
+	return exp.FormatFigure2(series, names)
+}

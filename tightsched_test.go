@@ -2,6 +2,7 @@ package tightsched_test
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -25,9 +26,29 @@ func TestFacadeRun(t *testing.T) {
 }
 
 func TestFacadeHeuristics(t *testing.T) {
+	paper := tightsched.PaperHeuristics()
+	if len(paper) != 17 {
+		t.Fatalf("%d paper heuristics", len(paper))
+	}
 	names := tightsched.Heuristics()
-	if len(names) != 17 {
-		t.Fatalf("%d heuristics", len(names))
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Heuristics() not sorted: %v", names)
+	}
+	registered := make(map[string]bool, len(names))
+	for _, n := range names {
+		registered[n] = true
+	}
+	for _, n := range paper {
+		if !registered[n] {
+			t.Fatalf("paper heuristic %q missing from registry listing %v", n, names)
+		}
+	}
+	// The listings are defensive copies: scribbling on one must not leak
+	// into the registry.
+	names[0] = "SCRIBBLED"
+	paper[0] = "SCRIBBLED"
+	if tightsched.Heuristics()[0] == "SCRIBBLED" || tightsched.PaperHeuristics()[0] == "SCRIBBLED" {
+		t.Fatal("heuristic name listing aliases registry state")
 	}
 }
 
