@@ -16,6 +16,7 @@ import (
 	"tightsched"
 	"tightsched/internal/analytic"
 	"tightsched/internal/app"
+	"tightsched/internal/avail"
 	"tightsched/internal/exp"
 	"tightsched/internal/markov"
 	"tightsched/internal/platform"
@@ -377,6 +378,112 @@ func BenchmarkDecideAllocations(b *testing.B) {
 		})
 	}
 }
+
+// benchEngineScenarios are the engine-core benchmark settings: "markov"
+// is a paper-style platform under the default Markov provider (the leap
+// engine still steps the chain RNG slot by slot, so it measures the
+// macro-step machinery alone), "longsojourn" is the regime the leap core
+// exists for — self-loop probabilities pushed toward 1 (hour-scale UP
+// stretches at the paper's slot granularity) under the sojourn-sampled
+// provider, where simulation cost collapses from per-slot to
+// per-transition — and "capbound" is the worst case the paper's
+// DefaultCap exists for: a permanently infeasible platform ground to the
+// million-slot cap, which the leap engine crosses in O(cap / MaxLeap)
+// macro-steps.
+func benchEngineScenarios(b *testing.B) []struct {
+	name     string
+	wantFail bool
+	cfg      sim.Config
+} {
+	paper := platform.GeneratePaper(platform.PaperConfig{
+		P: 20, Wmin: 3, Ncom: 10, StayLo: 0.90, StayHi: 0.99,
+	}, rng.New(42))
+	sojourn := platform.GeneratePaper(platform.PaperConfig{
+		P: 20, Wmin: 20, Ncom: 10, StayLo: 0.9990, StayHi: 0.9999,
+	}, rng.New(42))
+	allDown, err := sim.ParseScript([]string{
+		"dd", "dd", "dd", "dd", "dd", "dd", "dd", "dd", "dd", "dd",
+		"dd", "dd", "dd", "dd", "dd", "dd", "dd", "dd", "dd", "dd",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []struct {
+		name     string
+		wantFail bool
+		cfg      sim.Config
+	}{
+		{"markov", false, sim.Config{
+			Platform:     paper,
+			App:          app.Application{Tasks: 5, Tprog: 15, Tdata: 3, Iterations: 20},
+			Heuristic:    "IE",
+			Seed:         7,
+			Cap:          600_000,
+			InitialAllUp: true,
+		}},
+		{"longsojourn", false, sim.Config{
+			Platform:     sojourn,
+			App:          app.Application{Tasks: 5, Tprog: 100, Tdata: 20, Iterations: 20},
+			Heuristic:    "IE",
+			Seed:         7,
+			Cap:          600_000,
+			InitialAllUp: true,
+			Model:        avail.SojournMarkovModel{},
+		}},
+		// 200k slots rather than the paper's full DefaultCap keeps the
+		// slot-engine side of the pair affordable in CI; the ratio is
+		// cap-independent (leap crosses the idle stretch in O(cap/MaxLeap)
+		// macro-steps, the slot loop in O(cap) full passes).
+		{"capbound", true, sim.Config{
+			Platform:  paper,
+			App:       app.Application{Tasks: 5, Tprog: 15, Tdata: 3, Iterations: 20},
+			Heuristic: "IE",
+			Seed:      7,
+			Cap:       200_000,
+			Provider:  &sim.ScriptProvider{Script: allDown},
+		}},
+	}
+}
+
+// benchEngine runs the engine-core scenarios under one time-advance mode.
+// The pair (BenchmarkEngineSlotLoop, BenchmarkEngineLeap) is the gated
+// record of the event-leap refactor: identical simulations (results are
+// byte-identical; the differential tests pin it), different cores. The
+// analytic platform cache is shared across iterations, exactly as a
+// campaign worker shares it across a point's trials, so ns/op measures
+// the engine loop rather than per-run eigendecomposition setup.
+func benchEngine(b *testing.B, advance sim.TimeAdvance) {
+	for _, sc := range benchEngineScenarios(b) {
+		b.Run(sc.name, func(b *testing.B) {
+			cfg := sc.cfg
+			cfg.Advance = advance
+			cfg.AnalyticCache = analytic.NewPlatformCache()
+			if res, err := sim.Run(cfg); err != nil || res.Failed != sc.wantFail {
+				b.Fatalf("warmup run: %+v err=%v", res, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed != sc.wantFail {
+					b.Fatalf("benchmark run: %+v", res)
+				}
+				b.ReportMetric(float64(res.Makespan), "slots")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSlotLoop measures the reference slot-stepped core.
+func BenchmarkEngineSlotLoop(b *testing.B) { benchEngine(b, sim.AdvanceSlot) }
+
+// BenchmarkEngineLeap measures the event-leap macro-step core on the same
+// scenarios. The benchgate baseline pair documents the speedup (≥5× on
+// the long-sojourn scenario is this PR's acceptance bar).
+func BenchmarkEngineLeap(b *testing.B) { benchEngine(b, sim.AdvanceLeap) }
 
 // BenchmarkEngineSlots measures raw engine throughput in slots/op with a
 // passive heuristic on a paper-size platform.

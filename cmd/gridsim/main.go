@@ -43,8 +43,14 @@ func main() {
 		trials     = flag.Int("trials", 5, "trials for -compare")
 		list       = flag.Bool("list", false, "list heuristic names and exit")
 		spectral   = flag.Bool("spectral", false, "use the exact closed-form set evaluator (agrees with the series within eps; decisions may differ at that precision)")
+		advance    = flag.String("advance", "leap", "time-advance core: leap (event-leap macro-steps, default) | slot (reference per-slot loop); results are byte-identical")
 	)
 	flag.Parse()
+
+	adv, err := parseAdvance(*advance)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, name := range tightsched.Heuristics() {
@@ -54,7 +60,8 @@ func main() {
 	}
 
 	// Ctrl-C cancels the run context; the simulation stops at the next
-	// slot boundary instead of grinding on toward a million-slot cap.
+	// macro-step boundary instead of grinding on toward a million-slot
+	// cap.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -63,6 +70,7 @@ func main() {
 	session := tightsched.NewSession(
 		tightsched.WithCap(*capSlots),
 		tightsched.WithAnalytic(tightsched.AnalyticOptions{Spectral: *spectral}),
+		tightsched.WithTimeAdvance(adv),
 	)
 	var opts []tightsched.Option
 	if *allUp {
@@ -121,6 +129,17 @@ func main() {
 		fmt.Print(trace.Legend())
 		fmt.Println()
 		fmt.Print(rec.Render())
+	}
+}
+
+func parseAdvance(s string) (tightsched.TimeAdvance, error) {
+	switch s {
+	case "leap":
+		return tightsched.AdvanceLeap, nil
+	case "slot":
+		return tightsched.AdvanceSlot, nil
+	default:
+		return 0, fmt.Errorf("unknown -advance %q (want leap or slot)", s)
 	}
 }
 

@@ -36,7 +36,7 @@
 //	tables -table 2 -merge t2-0.journal,t2-1.journal,t2-2.journal
 //
 // SIGINT/SIGTERM (Ctrl-C) cancel the run context: in-flight simulations
-// stop at slot boundaries, every completed instance is already flushed to
+// stop at macro-step boundaries, every completed instance is already flushed to
 // the journal, and the file is closed cleanly — rerunning with -resume
 // continues exactly where the interrupt landed, bit-identically.
 package main
@@ -73,6 +73,7 @@ func main() {
 		resume    = flag.Bool("resume", false, "continue an interrupted -journal file (skip recorded instances)")
 		shardSpec = flag.String("shard", "", "run one slice i/n of the instance grid (0-based), e.g. -shard 0/3")
 		merge     = flag.String("merge", "", "comma-separated shard journals to recombine and aggregate (no simulation)")
+		advance   = flag.String("advance", "leap", "time-advance core: leap (default) | slot; results are byte-identical, leap is the fast path")
 	)
 	flag.Parse()
 
@@ -102,8 +103,8 @@ func main() {
 
 	// The run context: Ctrl-C (or a SIGTERM from a batch scheduler)
 	// cancels it, and every layer below — the campaign worker pool at
-	// instance boundaries, each simulation at slot boundaries — honors
-	// the cancellation promptly.
+	// instance boundaries, each simulation at macro-step boundaries —
+	// honors the cancellation promptly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -135,6 +136,15 @@ func main() {
 	}
 	if *seed != 0 {
 		sweep.Seed = *seed
+	}
+	switch *advance {
+	case "leap":
+		sweep.Advance = tightsched.AdvanceLeap
+	case "slot":
+		sweep.Advance = tightsched.AdvanceSlot
+	default:
+		fmt.Fprintln(os.Stderr, "tables: -advance must be leap or slot")
+		os.Exit(2)
 	}
 	if *wmins != "" {
 		var ws []int

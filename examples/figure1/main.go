@@ -102,4 +102,15 @@ func main() {
 		res.Makespan, res.CommSlots)
 	fmt.Printf("%d coupled compute slots (suspended while P2/P3 were reclaimed)\n",
 		res.ComputeSlots)
+
+	// The recorder is run-length encoded: per-slot views are reconstructed
+	// on demand (Steps/At), while storage scales with state/activity
+	// transitions — here a handful of spans for 15 slots, and one span for
+	// a million-slot idle stretch.
+	fmt.Printf("trace storage: %d slots in %d run-length spans\n", rec.Len(), rec.SpanCount())
+	for step := range rec.Steps() {
+		if step.Event != "" {
+			fmt.Printf("event at t=%d: %s\n", step.Slot, step.Event)
+		}
+	}
 }

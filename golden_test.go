@@ -137,6 +137,74 @@ func TestSpectralGoldenScenarios(t *testing.T) {
 	}
 }
 
+// TestLeapGoldenParity renders Tables I, II and III under the reference
+// slot-stepped engine and under the event-leap engine (the default) with
+// the default Markov provider, and requires the formatted artifacts to be
+// byte-identical — the leap core is an execution strategy, not a model
+// change. Grids are reduced; the heuristic sets are the tables' own.
+func TestLeapGoldenParity(t *testing.T) {
+	baseSweep := func(m int) tightsched.Sweep {
+		s := tightsched.QuickSweep(m)
+		s.Ncoms = []int{10}
+		s.Wmins = []int{2}
+		s.Scenarios = 1
+		s.Trials = 2
+		s.Cap = 100_000
+		return s
+	}
+	render := func(sweep tightsched.Sweep, table int) string {
+		res, err := tightsched.RunSweep(sweep, nil)
+		if err != nil {
+			t.Fatalf("table %d advance=%v: %v", table, sweep.Advance, err)
+		}
+		if table == 3 {
+			tables, err := res.TableIII(tightsched.ReferenceHeuristic)
+			if err != nil {
+				t.Fatalf("table 3 advance=%v: %v", sweep.Advance, err)
+			}
+			return tightsched.FormatTableIII(tables)
+		}
+		rows, err := res.Table(tightsched.ReferenceHeuristic)
+		if err != nil {
+			t.Fatalf("table %d advance=%v: %v", table, sweep.Advance, err)
+		}
+		return tightsched.FormatTable(rows)
+	}
+	cases := []struct {
+		name  string
+		table int
+		sweep tightsched.Sweep
+	}{
+		{"TableI", 1, baseSweep(5)},
+		{"TableII", 2, func() tightsched.Sweep {
+			s := baseSweep(10)
+			s.Heuristics = []string{"Y-IE", "P-IE", "E-IAY", "E-IY", "E-IP", "IAY", "IY", "IE"}
+			return s
+		}()},
+		{"TableIII", 3, func() tightsched.Sweep {
+			s := baseSweep(5)
+			s.Heuristics = []string{"IE", "Y-IE", "RANDOM"}
+			s.Models = []tightsched.AvailabilityModel{
+				tightsched.MarkovModel{}, tightsched.NewSemiMarkovModel(0.6),
+			}
+			return s
+		}()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			slotSweep := c.sweep
+			slotSweep.Advance = tightsched.AdvanceSlot
+			leapSweep := c.sweep
+			leapSweep.Advance = tightsched.AdvanceLeap
+			slotOut := render(slotSweep, c.table)
+			leapOut := render(leapSweep, c.table)
+			if slotOut != leapOut {
+				t.Fatalf("%s diverges between engines\nslot:\n%s\nleap:\n%s", c.name, slotOut, leapOut)
+			}
+		})
+	}
+}
+
 // TestQuickSweepDeterministicAcrossWorkers requires a QuickSweep-shaped
 // campaign to produce identical instances regardless of the worker-pool
 // size, serial included.

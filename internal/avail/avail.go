@@ -23,6 +23,8 @@
 package avail
 
 import (
+	"slices"
+
 	"tightsched/internal/markov"
 	"tightsched/internal/rng"
 )
@@ -39,6 +41,95 @@ type ProviderFunc func(slot int64, dst []markov.State)
 
 // States implements StateProvider.
 func (f ProviderFunc) States(slot int64, dst []markov.State) { f(slot, dst) }
+
+// RunProvider is the optional StateProvider extension the event-leap
+// engine consumes: instead of one vector per slot, it reports how long
+// the whole state vector stays constant, so the engine can apply the
+// intervening homogeneous slots in bulk. NextChange derives the companion
+// "first slot at which anything changes" form from the same method.
+//
+// Implementations may consume their internal random streams exactly as a
+// slot-by-slot States walk would (the Markov chain provider does, which
+// is what keeps realizations — and golden tables — byte-identical across
+// engines), or sample sojourn lengths directly (SojournMarkovModel).
+type RunProvider interface {
+	StateProvider
+	// StatesRun fills dst with the state vector at slot from and returns
+	// n in [1, max(1, limit)]: the vector is constant over the slots
+	// from .. from+n-1, and either n == limit or the vector changes at
+	// slot from+n. Successive calls must use non-decreasing from values.
+	StatesRun(from int64, dst []markov.State, limit int64) int64
+}
+
+// NextChange returns the first slot after from at which p's state vector
+// changes, capped at horizon: from+n for the n of StatesRun. scratch must
+// have the platform's length; it receives the vector at from.
+func NextChange(p RunProvider, from, horizon int64, scratch []markov.State) int64 {
+	next := from + p.StatesRun(from, scratch, horizon-from)
+	if next > horizon {
+		next = horizon // degenerate horizons: StatesRun clamps its limit to 1
+	}
+	return next
+}
+
+// AsRunProvider returns a run-length view of p: p itself when it already
+// implements RunProvider, otherwise a lookahead adapter that walks p slot
+// by slot — consuming any internal randomness exactly as the slot engine
+// would, so realizations stay byte-identical — while buffering the first
+// differing vector. The adapter inherits StateProvider's sequential
+// contract: it fetches consecutive slots starting at 0.
+func AsRunProvider(p StateProvider) RunProvider {
+	if rp, ok := p.(RunProvider); ok {
+		return rp
+	}
+	return &lookahead{p: p}
+}
+
+// lookahead adapts any slot-by-slot provider to RunProvider by fetching
+// ahead until the vector changes. cur holds the vector at slot next-1
+// (the most recently fetched slot).
+type lookahead struct {
+	p    StateProvider
+	next int64
+	cur  []markov.State
+	buf  []markov.State
+}
+
+// States implements StateProvider by delegation (for callers that mix the
+// two views; the engine uses exactly one per run).
+func (la *lookahead) States(slot int64, dst []markov.State) { la.p.States(slot, dst) }
+
+// StatesRun implements RunProvider.
+func (la *lookahead) StatesRun(from int64, dst []markov.State, limit int64) int64 {
+	if limit < 1 {
+		limit = 1
+	}
+	if la.cur == nil {
+		la.cur = make([]markov.State, len(dst))
+		la.buf = make([]markov.State, len(dst))
+	}
+	// Catch up to from, fetching each slot exactly once. When the
+	// previous call ended at a change, cur already holds slot from.
+	for la.next <= from {
+		la.p.States(la.next, la.cur)
+		la.next++
+	}
+	copy(dst, la.cur)
+	n := int64(1)
+	for n < limit {
+		la.p.States(la.next, la.buf)
+		la.next++
+		if !StatesEqual(la.buf, la.cur) {
+			la.cur, la.buf = la.buf, la.cur
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// StatesEqual reports whether two state vectors are identical.
+func StatesEqual(a, b []markov.State) bool { return slices.Equal(a, b) }
 
 // Model is a pluggable availability model. A model is platform-generic:
 // the per-processor nominal Markov matrices of the concrete platform are

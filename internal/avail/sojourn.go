@@ -1,0 +1,170 @@
+package avail
+
+import (
+	"math"
+
+	"tightsched/internal/markov"
+	"tightsched/internal/rng"
+)
+
+// SojournMarkovModel is MarkovModel's run-length twin: each processor
+// follows the same 3-state Markov chain, but the realization is sampled
+// by sojourns — one geometric draw per state visit (the chain's exact
+// holding-time law) plus one embedded-jump draw — instead of one uniform
+// per slot. The process is distributionally identical to MarkovModel's
+// and the believed matrices are exact, but equal seeds produce different
+// realizations (the streams are consumed differently), so golden tables
+// change; it is opt-in.
+//
+// Its provider implements RunProvider natively with O(1) work per state
+// transition rather than O(1) per slot, which is what makes huge caps
+// (10^6-slot idle stretches, week-long sojourns) affordable under the
+// event-leap engine: simulation cost becomes proportional to the number
+// of availability transitions and phase events, not to elapsed slots.
+type SojournMarkovModel struct{}
+
+// Name implements Model.
+func (SojournMarkovModel) Name() string { return "markov-sojourn" }
+
+// EstimatorMatrices implements Model: the chains are the ground truth.
+func (SojournMarkovModel) EstimatorMatrices(base []markov.Matrix) []markov.Matrix { return base }
+
+// Provider implements Model. Initial states are drawn from each chain's
+// stationary distribution unless allUp; by memorylessness, drawing a full
+// geometric sojourn for the initial state is exactly the stationary
+// process's residual holding time.
+func (SojournMarkovModel) Provider(base []markov.Matrix, seed uint64, allUp bool) StateProvider {
+	initStream := rng.NewKeyed(seed, 0x5030)
+	p := len(base)
+	sp := &sojournProvider{
+		ms:      base,
+		streams: make([]*rng.Stream, p),
+		state:   make([]markov.State, p),
+		change:  make([]int64, p),
+	}
+	for q, m := range base {
+		if err := m.Validate(); err != nil {
+			panic(err)
+		}
+		start := markov.Up
+		if !allUp {
+			pi := m.Stationary()
+			start = markov.State(initStream.Categorical(pi[:]))
+		}
+		sp.streams[q] = rng.NewKeyed(seed, 0x5031, uint64(q))
+		sp.state[q] = start
+		sp.change[q] = addSlots(0, sp.sojournLen(q, start))
+	}
+	return sp
+}
+
+// sojournProvider holds, per processor, the current state and the slot at
+// which it next changes; the vector is valid for any slot before the
+// earliest pending change.
+type sojournProvider struct {
+	ms      []markov.Matrix
+	streams []*rng.Stream
+	state   []markov.State
+	change  []int64
+}
+
+// sojournLen draws how many slots processor q spends in state s per
+// visit: geometric with the chain's exact holding-time law,
+// P(L = k) = stay^(k-1)·(1-stay) for k >= 1, via inversion. An absorbing
+// state returns math.MaxInt64 (it never leaves).
+func (sp *sojournProvider) sojournLen(q int, s markov.State) int64 {
+	stay := sp.ms[q][s][s]
+	if stay >= 1 {
+		return math.MaxInt64
+	}
+	if stay <= 0 {
+		return 1
+	}
+	u := sp.streams[q].Float64() // < 1 keeps the log finite
+	n := 1 + int64(math.Log(1-u)/math.Log(stay))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// addSlots is at+n saturating at math.MaxInt64.
+func addSlots(at, n int64) int64 {
+	if n >= math.MaxInt64-at {
+		return math.MaxInt64
+	}
+	return at + n
+}
+
+// jumpAt moves processor q — whose sojourn expires at slot at — to its
+// next state per the embedded jump chain (its matrix row conditioned on
+// leaving) and schedules the new sojourn from at.
+func (sp *sojournProvider) jumpAt(q int, at int64) {
+	s := sp.state[q]
+	row := sp.ms[q][s]
+	out := 1 - row[s]
+	u := sp.streams[q].Float64() * out
+	acc := 0.0
+	next := s
+	for j := 0; j < markov.NumStates; j++ {
+		if markov.State(j) == s {
+			continue
+		}
+		acc += row[j]
+		if u < acc {
+			next = markov.State(j)
+			break
+		}
+	}
+	if next == s { // numerical slack: take the last non-self state
+		for j := markov.NumStates - 1; j >= 0; j-- {
+			if markov.State(j) != s && row[j] > 0 {
+				next = markov.State(j)
+				break
+			}
+		}
+	}
+	sp.state[q] = next
+	sp.change[q] = addSlots(at, sp.sojournLen(q, next))
+}
+
+// advance moves the provider's clock to target, applying any transitions
+// due on the way (each at its own expiry slot, so holding times chain
+// exactly).
+func (sp *sojournProvider) advance(target int64) {
+	for q := range sp.state {
+		for sp.change[q] <= target {
+			sp.jumpAt(q, sp.change[q])
+		}
+	}
+}
+
+// States implements StateProvider.
+func (sp *sojournProvider) States(slot int64, dst []markov.State) {
+	sp.advance(slot)
+	copy(dst, sp.state)
+}
+
+// StatesRun implements RunProvider: the run ends at the earliest pending
+// transition, found in O(p) without sampling a single intervening slot.
+func (sp *sojournProvider) StatesRun(from int64, dst []markov.State, limit int64) int64 {
+	if limit < 1 {
+		limit = 1
+	}
+	sp.advance(from)
+	copy(dst, sp.state)
+	n := limit
+	for q := range sp.change {
+		if d := sp.change[q] - from; d < n {
+			n = d
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func init() {
+	MustRegister("markov-sojourn", func() Model { return SojournMarkovModel{} })
+}

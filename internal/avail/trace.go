@@ -30,6 +30,33 @@ func (sp *ScriptProvider) States(slot int64, dst []markov.State) {
 	copy(dst, row)
 }
 
+// StatesRun implements RunProvider natively: rows are compared in place,
+// and once the script is exhausted the repeated last row yields the whole
+// remaining limit in one run — a cap-bound run over a finished script
+// costs O(cap / limit) macro-steps instead of O(cap) row copies.
+func (sp *ScriptProvider) StatesRun(from int64, dst []markov.State, limit int64) int64 {
+	sp.States(from, dst)
+	if limit < 1 {
+		return 1
+	}
+	last := int64(len(sp.Script)) - 1
+	if from >= last {
+		return limit // the last row repeats forever
+	}
+	n := int64(1)
+	for n < limit {
+		idx := from + n
+		if !StatesEqual(sp.Script[idx], dst) {
+			return n
+		}
+		if idx == last {
+			return limit // reached the repeating tail without a change
+		}
+		n++
+	}
+	return n
+}
+
 // ParseScript converts a compact textual availability script into rows:
 // one string per processor, one character per slot, 'u' = UP,
 // 'r' = RECLAIMED, 'd' = DOWN. All strings must have equal length.

@@ -86,6 +86,13 @@ type Options struct {
 	// Analytic.Spectral opts into the exact closed-form fast path, which
 	// agrees with the series within the precision eps.
 	Analytic analytic.Options
+	// Advance selects the simulator's time-advance core: the event-leap
+	// macro-step engine (the default) or the reference slot-stepped loop.
+	// Results and traces are byte-identical either way.
+	Advance sim.TimeAdvance
+	// MaxLeap caps one leap macro-step in slots (sim.DefaultMaxLeap when
+	// 0), bounding worst-case cancellation latency.
+	MaxLeap int64
 }
 
 // Run simulates the scenario under the named heuristic.
@@ -93,8 +100,9 @@ func Run(sc Scenario, heuristic string, opt Options) (sim.Result, error) {
 	return RunContext(context.Background(), sc, heuristic, opt)
 }
 
-// RunContext is Run under a context, checked at every slot boundary of
-// the simulation (see sim.RunContext).
+// RunContext is Run under a context, checked at every macro-step boundary
+// of the simulation (see sim.RunContext; Options.MaxLeap bounds the
+// latency).
 func RunContext(ctx context.Context, sc Scenario, heuristic string, opt Options) (sim.Result, error) {
 	if err := sc.Validate(); err != nil {
 		return sim.Result{}, err
@@ -110,6 +118,8 @@ func RunContext(ctx context.Context, sc Scenario, heuristic string, opt Options)
 		Model:        opt.Model,
 		Recorder:     opt.Recorder,
 		Analytic:     opt.Analytic,
+		Advance:      opt.Advance,
+		MaxLeap:      opt.MaxLeap,
 	})
 }
 
@@ -134,7 +144,7 @@ func Compare(sc Scenario, heuristics []string, trials int, baseSeed uint64, opt 
 
 // CompareContext is Compare under a context: cancellation is checked at
 // every (heuristic, trial) instance boundary — a cancelled comparison
-// starts no new runs — and inside each run at slot boundaries.
+// starts no new runs — and inside each run at macro-step boundaries.
 func CompareContext(ctx context.Context, sc Scenario, heuristics []string, trials int, baseSeed uint64, opt Options) ([]HeuristicSummary, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -172,6 +182,8 @@ func CompareContext(ctx context.Context, sc Scenario, heuristics []string, trial
 				InitialAllUp: opt.InitialAllUp,
 				Model:        opt.Model,
 				Analytic:     opt.Analytic,
+				Advance:      opt.Advance,
+				MaxLeap:      opt.MaxLeap,
 			})
 		}(i, j)
 	}

@@ -84,7 +84,7 @@ type pointKey struct {
 // consumer's goroutine in completion order. The stream is single-use.
 //
 // Cancelling ctx stops the campaign at instance boundaries (and mid-run
-// at slot boundaries); the stream then ends with the context's error.
+// at macro-step boundaries); the stream then ends with the context's error.
 // Breaking out of the loop early cancels the same way but yields no
 // error, per the iterator contract. Either way no goroutines are leaked
 // and an attached journal holds every completed instance, so a later

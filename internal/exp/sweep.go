@@ -55,6 +55,14 @@ type Sweep struct {
 	Workers int
 	// InitialAllUp starts processors UP instead of at stationarity.
 	InitialAllUp bool
+	// Advance selects the simulator's time-advance core (the event-leap
+	// macro-step engine by default). Like Workers it is a runtime knob,
+	// deliberately absent from SweepSpec: both cores produce byte-identical
+	// instances, so journals written under either interchange freely.
+	Advance sim.TimeAdvance
+	// MaxLeap caps one leap macro-step in slots (sim.DefaultMaxLeap when
+	// 0). Runtime knob, absent from SweepSpec.
+	MaxLeap int64
 }
 
 // PaperSweep returns the full Section VII campaign for m tasks:
@@ -218,7 +226,7 @@ func (s *Sweep) application(wmin int) app.Application {
 }
 
 // runInstance executes one simulation of the campaign, checking ctx at
-// slot boundaries. Model hooks run arbitrary plugged-in code (e.g. a
+// macro-step boundaries. Model hooks run arbitrary plugged-in code (e.g. a
 // TraceModel panicking on a platform size mismatch); a panic is converted
 // into an error so the campaign fails cleanly instead of crashing the
 // worker pool.
@@ -246,6 +254,8 @@ func runInstance(ctx context.Context, s *Sweep, model avail.Model, pt Point, tri
 		InitialAllUp:  s.InitialAllUp,
 		Model:         model,
 		AnalyticCache: cache,
+		Advance:       s.Advance,
+		MaxLeap:       s.MaxLeap,
 	})
 }
 
@@ -307,7 +317,7 @@ func RunWith(sweep Sweep, opts RunOptions) (*Result, error) {
 
 // RunWithContext is RunWith under a context, consuming the Stream event
 // iterator: cancellation is checked at instance boundaries in the worker
-// pool and at slot boundaries inside each simulation, every already
+// pool and at macro-step boundaries inside each simulation, every already
 // completed instance is journaled before the campaign returns, and the
 // returned error is the context's. The journal is left resumable: a later
 // Resume re-runs only what was lost in flight and reproduces the

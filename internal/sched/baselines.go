@@ -90,6 +90,13 @@ func (h *staticRank) Decide(v *View) app.Assignment {
 	return asg
 }
 
+// DecideSpan implements sched.SpanDecider: the static-rank baselines are
+// passive and their fresh build reads only static scores and the UP set,
+// so the decision is stable over any homogeneous span.
+func (h *staticRank) DecideSpan(v *View, n int64) (app.Assignment, int64) {
+	return h.Decide(v), n
+}
+
 // fastestScore ranks by clock rate (lower w_q is faster).
 func fastestScore(env *Env, q int) float64 {
 	return -float64(env.Platform.Procs[q].Speed)

@@ -39,6 +39,16 @@ func (h *incremental) Decide(v *View) app.Assignment {
 	return h.build(v)
 }
 
+// DecideSpan implements SpanDecider. The heuristic is passive: with a
+// configuration in place it always keeps it, and a fresh build depends
+// only on the UP set and message-granularity retention — both constant
+// over a homogeneous span (a non-nil build is adopted at the span's first
+// slot, after which the keep branch applies; a nil build stays nil while
+// the UP set stands still, since feasibility does not read Elapsed).
+func (h *incremental) DecideSpan(v *View, n int64) (app.Assignment, int64) {
+	return h.Decide(v), n
+}
+
 // build builds an assignment greedily. It returns nil when the UP workers
 // cannot host m tasks.
 //

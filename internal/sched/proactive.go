@@ -38,21 +38,34 @@ type proactive struct {
 // Name implements Heuristic.
 func (h *proactive) Name() string { return h.name }
 
-// Decide implements Heuristic.
+// Decide implements Heuristic: DecideSpan with a one-slot horizon.
 func (h *proactive) Decide(v *View) app.Assignment {
+	next, _ := h.DecideSpan(v, 1)
+	return next
+}
+
+// DecideSpan implements SpanDecider — the single home of the proactive
+// adoption rule (Decide delegates here). The candidate cache is keyed on
+// exactly the quantities that are constant over a homogeneous span (the
+// UP set and the retention epoch), so whenever the cached candidate is
+// nil, Equal to the running configuration, or adopted at the span's
+// first slot, the decision is stable for the whole span. Only a live
+// score comparison — a distinct candidate competing against the running
+// configuration under Elapsed-driven scores — forces per-slot decisions.
+func (h *proactive) DecideSpan(v *View, n int64) (app.Assignment, int64) {
 	cand := h.candidate(v)
 	if v.Current == nil {
-		return cand
+		return cand, n
 	}
 	if cand == nil || cand.Equal(v.Current) {
-		return v.Current
+		return v.Current, n
 	}
 	cur := h.crit.Score(evalCurrent(h.env, v, &h.scratch))
 	alt := h.crit.Score(evalFresh(h.env, v, cand, &h.scratch))
 	if cur >= alt {
-		return v.Current
+		return v.Current, 1
 	}
-	return cand
+	return cand, 1
 }
 
 // candidate returns the fresh configuration H would build now, using the

@@ -44,3 +44,12 @@ func (h *random) Decide(v *View) app.Assignment {
 	h.pool = pool[:0]
 	return asg
 }
+
+// DecideSpan implements SpanDecider. RANDOM is passive, and its idle
+// branch (insufficient UP capacity) consumes no randomness — exactly as
+// the per-slot Decide walk would — so decision leaps leave the stream
+// byte-identical; a non-nil draw is adopted at the span's first slot and
+// then kept.
+func (h *random) DecideSpan(v *View, n int64) (app.Assignment, int64) {
+	return h.Decide(v), n
+}

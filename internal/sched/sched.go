@@ -85,6 +85,31 @@ type Heuristic interface {
 	Decide(v *View) app.Assignment
 }
 
+// SpanDecider is the optional Heuristic extension the simulator's
+// event-leap engine consumes. DecideSpan is Decide plus a homogeneity
+// horizon: n >= 1 is the number of upcoming slots (starting at v.Slot)
+// over which the engine guarantees the availability vector stays
+// constant. The returned keep, clamped by the engine to [1, n], promises
+// that — provided the engine applies the returned decision, the
+// availability vector and the retention epoch stay unchanged, and no
+// phase event clears the configuration — Decide at each of the next
+// keep-1 slots would return a value Equal to the then-current
+// configuration (or nil while idle). The engine re-decides at every
+// retention-epoch change (message completion, DOWN wipe, iteration end)
+// regardless of keep, so implementations only reason about Elapsed- and
+// Slot-driven drift: passive heuristics return n; proactive ones return
+// n when the cached candidate cannot displace the running configuration
+// and 1 when a per-slot score comparison is in play.
+//
+// Heuristics that do not implement SpanDecider are decided every slot
+// under both engines, which preserves exact slot-engine behavior for
+// arbitrary custom policies (stateful, Slot-dependent, randomized) at
+// the cost of the decision leap.
+type SpanDecider interface {
+	Heuristic
+	DecideSpan(v *View, n int64) (app.Assignment, int64)
+}
+
 // Env bundles the immutable per-run context heuristics are built from.
 // Heuristics reason only over believed state: when the platform's
 // availability model is not Markov, Believed and Analytic carry the

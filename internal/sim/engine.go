@@ -23,6 +23,43 @@ const DefaultCap = 1_000_000
 // analytic.DefaultEps, and the series horizon scales with log(1/eps).
 const DefaultEps = 1e-6
 
+// DefaultMaxLeap caps one macro-step of the event-leap engine. Beyond
+// bounding memory per trace span, it bounds cancellation latency: a
+// cancellable context is polled at macro-step boundaries, so at most
+// MaxLeap slots of O(p) bulk arithmetic run between polls.
+const DefaultMaxLeap = 1 << 16
+
+// TimeAdvance selects the engine's time-advance core.
+type TimeAdvance int
+
+const (
+	// AdvanceLeap (the default) is the run-length macro-step core: at
+	// each state change the engine computes the next interesting slot —
+	// the earliest of the next availability transition, the current
+	// phase's completion (message done, coupled compute done, checkpoint
+	// commit), and the cap — and applies the intervening homogeneous
+	// slots in O(p) bulk arithmetic. Results and traces are byte-identical
+	// to AdvanceSlot (pinned by TestLeapGoldenParity and the differential
+	// tests in leap_diff_test.go).
+	AdvanceLeap TimeAdvance = iota
+	// AdvanceSlot is the reference slot-stepped loop: every slot pays
+	// full bookkeeping. It remains as the differential oracle and for
+	// per-slot instrumentation of custom providers.
+	AdvanceSlot
+)
+
+// String returns the option-flag spelling of the advance mode.
+func (a TimeAdvance) String() string {
+	switch a {
+	case AdvanceLeap:
+		return "leap"
+	case AdvanceSlot:
+		return "slot"
+	default:
+		return fmt.Sprintf("TimeAdvance(%d)", int(a))
+	}
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Platform *platform.Platform
@@ -76,6 +113,14 @@ type Config struct {
 	// Checkpoint enables the checkpointing extension (not in the paper's
 	// model; see the Checkpoint type). The zero value disables it.
 	Checkpoint Checkpoint
+	// Advance selects the time-advance core: the event-leap macro-step
+	// engine (AdvanceLeap, the zero value) or the reference slot-stepped
+	// loop (AdvanceSlot). Both produce byte-identical results and traces.
+	Advance TimeAdvance
+	// MaxLeap caps one macro-step of the leap engine in slots
+	// (DefaultMaxLeap when 0), bounding worst-case cancellation latency.
+	// Ignored by AdvanceSlot.
+	MaxLeap int64
 }
 
 // Checkpoint configures the engine's checkpointing extension, an ablation
@@ -133,6 +178,9 @@ type engine struct {
 	states  []markov.State
 	workers []sched.WorkerInfo
 	acts    []trace.Activity
+	// commServed is the leap core's scratch for the serviced worker set
+	// of one communication sub-step.
+	commServed []int
 
 	current     app.Assignment
 	enrolled    []int
@@ -157,10 +205,12 @@ func Run(cfg Config) (Result, error) {
 }
 
 // RunContext is Run under a context: cancellation is checked at every
-// slot boundary, so even a run heading for a million-slot cap stops
-// promptly. A cancelled run returns the partial Result accumulated so far
-// (Makespan = slots executed, Failed unset) together with the context's
-// error. An uncancellable context costs nothing on the slot loop.
+// macro-step boundary (every slot under AdvanceSlot), so even a run
+// heading for a million-slot cap stops promptly — Config.MaxLeap bounds
+// a macro-step, so at most MaxLeap slots of O(p) bulk accounting run
+// between polls. A cancelled run returns the partial Result accumulated
+// so far (Makespan = slots executed, Failed unset) together with the
+// context's error. An uncancellable context costs nothing on either loop.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Platform == nil {
 		return Result{}, fmt.Errorf("sim: nil platform")
@@ -225,6 +275,12 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Checkpoint.Every < 0 || cfg.Checkpoint.Cost < 0 {
 		return Result{}, fmt.Errorf("sim: invalid checkpoint config %+v", cfg.Checkpoint)
 	}
+	if cfg.Advance != AdvanceLeap && cfg.Advance != AdvanceSlot {
+		return Result{}, fmt.Errorf("sim: unknown time advance %d", int(cfg.Advance))
+	}
+	if cfg.MaxLeap < 0 {
+		return Result{}, fmt.Errorf("sim: negative max leap %d", cfg.MaxLeap)
+	}
 
 	p := cfg.Platform.Size()
 	e := &engine{
@@ -239,10 +295,16 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		acts:    make([]trace.Activity, p),
 		res:     Result{Heuristic: h.Name()},
 	}
-	return e.run(ctx)
+	if cfg.Advance == AdvanceSlot {
+		return e.runSlot(ctx)
+	}
+	return e.runLeap(ctx)
 }
 
-func (e *engine) run(ctx context.Context) (Result, error) {
+// runSlot is the reference slot-stepped core: the paper's engine as
+// written, one full bookkeeping pass per slot. runLeap (leap.go) must
+// stay byte-identical to it.
+func (e *engine) runSlot(ctx context.Context) (Result, error) {
 	// Done is nil for uncancellable contexts, so the paper-faithful batch
 	// path pays nothing; otherwise one non-blocking channel poll per slot
 	// bounds cancellation latency to a single slot of work.
@@ -319,9 +381,9 @@ func (e *engine) dropConfiguration() {
 	e.computeDone = 0
 }
 
-// decide asks the heuristic for this slot's configuration and adopts it.
-func (e *engine) decide(slot int64) error {
-	v := &sched.View{
+// view builds the heuristic's per-slot snapshot.
+func (e *engine) view(slot int64) *sched.View {
+	return &sched.View{
 		Slot:           slot,
 		States:         e.states,
 		Workers:        e.workers,
@@ -330,7 +392,16 @@ func (e *engine) decide(slot int64) error {
 		Elapsed:        slot - e.iterStart,
 		RetentionEpoch: e.retEpoch,
 	}
-	next := e.h.Decide(v)
+}
+
+// decide asks the heuristic for this slot's configuration and adopts it.
+func (e *engine) decide(slot int64) error {
+	return e.apply(e.h.Decide(e.view(slot)), slot)
+}
+
+// apply adopts (or keeps, or drops) the decision returned for slot: the
+// single adoption path shared by the slot and leap cores.
+func (e *engine) apply(next app.Assignment, slot int64) error {
 	if next == nil {
 		if e.current != nil {
 			e.res.Reconfigs++

@@ -98,9 +98,10 @@ func TestAvailabilityIndependentOfHeuristic(t *testing.T) {
 	if recs[1].Len() < n {
 		n = recs[1].Len()
 	}
-	for s := 0; s < n; s++ {
-		for q := range recs[0].Steps[s].States {
-			if recs[0].Steps[s].States[q] != recs[1].Steps[s].States[q] {
+	for s := int64(0); s < int64(n); s++ {
+		a, b := recs[0].At(s), recs[1].At(s)
+		for q := range a.States {
+			if a.States[q] != b.States[q] {
 				t.Fatalf("slot %d proc %d: states diverge between heuristics", s, q)
 			}
 		}
@@ -122,7 +123,7 @@ func TestModelInvariants(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		for _, step := range rec.Steps {
+		for step := range rec.Steps() {
 			comm, compute := 0, 0
 			for q, act := range step.Activities {
 				switch act {
@@ -226,7 +227,7 @@ func TestInitialAllUp(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	for q, s := range rec.Steps[0].States {
+	for q, s := range rec.At(0).States {
 		if s != markov.Up {
 			t.Fatalf("InitialAllUp: proc %d starts %v", q, s)
 		}

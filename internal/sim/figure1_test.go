@@ -119,7 +119,7 @@ func TestFigure1Execution(t *testing.T) {
 		14: {trace.NotEnrolled, trace.Compute, trace.Compute, trace.Compute, trace.NotEnrolled},
 	}
 	for slot, want := range wantActs {
-		got := rec.Steps[slot].Activities
+		got := rec.At(slot).Activities
 		for q := range want {
 			if got[q] != want[q] {
 				t.Fatalf("slot %d proc %d activity = %v, want %v\n%s",

@@ -1,10 +1,17 @@
 // Package sim implements the discrete-event simulator the paper's
-// evaluation (Section VII) is built on: a slot-synchronous engine that
-// executes the application/platform model of Section III exactly —
-// 3-state processor availability, the master's bounded multi-port
-// bandwidth, program and per-task data downloads, RECLAIMED
-// suspend/resume, DOWN restart-from-scratch, and tightly-coupled
-// computation that advances only when every enrolled worker is UP.
+// evaluation (Section VII) is built on, executing the
+// application/platform model of Section III exactly — 3-state processor
+// availability, the master's bounded multi-port bandwidth, program and
+// per-task data downloads, RECLAIMED suspend/resume, DOWN
+// restart-from-scratch, and tightly-coupled computation that advances
+// only when every enrolled worker is UP.
+//
+// Two byte-identical time-advance cores execute that model (Config.
+// Advance): the event-leap macro-step engine (the default, leap.go),
+// whose cost scales with availability transitions and phase events, and
+// the reference slot-stepped loop (engine.go), which pays full
+// bookkeeping every slot and serves as the differential oracle. See
+// DESIGN.md, "Time advance".
 package sim
 
 import (

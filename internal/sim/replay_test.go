@@ -45,9 +45,10 @@ func TestRecordedAvailabilityReplays(t *testing.T) {
 	if first.Len() < n {
 		n = first.Len()
 	}
-	for s := 0; s < n; s++ {
-		for q := range first.Steps[s].States {
-			if first.Steps[s].States[q] != second.Steps[s].States[q] {
+	for s := int64(0); s < int64(n); s++ {
+		a, b := first.At(s), second.At(s)
+		for q := range a.States {
+			if a.States[q] != b.States[q] {
 				t.Fatalf("replayed availability diverges at slot %d proc %d", s, q)
 			}
 		}

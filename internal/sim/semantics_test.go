@@ -144,7 +144,7 @@ func TestNcomOneSerializesCommunication(t *testing.T) {
 	if res.Makespan != 11 {
 		t.Fatalf("makespan = %d, want 11\n%s", res.Makespan, rec.Render())
 	}
-	for _, step := range rec.Steps {
+	for step := range rec.Steps() {
 		comm := 0
 		for _, act := range step.Activities {
 			if act == trace.Program || act == trace.Data {

@@ -3,10 +3,21 @@
 // column per time-slot, with the worker's activity (receiving the Program,
 // receiving Data, Computing, or Idle while enrolled) drawn over its
 // availability state (UP, RECLAIMED, DOWN).
+//
+// Traces are stored run-length encoded: consecutive slots with identical
+// state and activity vectors share one Span, and slot-level events live in
+// a separate ascending list. A million-slot idle stretch therefore costs
+// one span instead of a million p-sized steps — O(runs + events) memory
+// rather than O(cap·p) — which is what lets the event-leap engine record
+// full cap-bound runs. Per-slot consumers use the Steps iterator or At;
+// both reconstruct the classic slot-by-slot view on the fly.
 package trace
 
 import (
 	"fmt"
+	"iter"
+	"slices"
+	"sort"
 	"strings"
 
 	"tightsched/internal/markov"
@@ -47,7 +58,9 @@ func (a Activity) String() string {
 	}
 }
 
-// Step is the recorded state of one time-slot.
+// Step is the reconstructed state of one time-slot, the unit the Steps
+// iterator and At yield. The slices alias the recorder's internal span
+// storage; treat them as read-only.
 type Step struct {
 	Slot       int64
 	States     []markov.State
@@ -57,32 +70,160 @@ type Step struct {
 	Event string
 }
 
-// Recorder accumulates steps. The zero value is ready to use. A nil
-// *Recorder is a valid no-op recorder, so the engine can record
-// unconditionally.
-type Recorder struct {
-	Steps []Step
+// Span is one run-length-encoded stretch of the trace: Len consecutive
+// slots starting at From over which every processor's state and activity
+// are constant.
+type Span struct {
+	From       int64
+	Len        int64
+	States     []markov.State
+	Activities []Activity
 }
 
-// Record appends one step. The state and activity slices are copied.
-// Calling Record on a nil recorder is a no-op.
+// Event annotates one slot of the trace.
+type Event struct {
+	Slot int64
+	Msg  string
+}
+
+// Recorder accumulates a run-length-encoded trace. The zero value is
+// ready to use. A nil *Recorder is a valid no-op recorder, so the engine
+// can record unconditionally.
+type Recorder struct {
+	spans  []Span
+	events []Event
+	slots  int64
+}
+
+// Record appends one slot, coalescing it into the previous span when the
+// state and activity vectors repeat. The slices are copied only when a new
+// span starts. Calling Record on a nil recorder is a no-op.
 func (r *Recorder) Record(slot int64, states []markov.State, acts []Activity, event string) {
 	if r == nil {
 		return
+	}
+	r.RecordSpan(slot, 1, states, acts)
+	r.AddEvent(slot, event)
+}
+
+// RecordSpan appends n consecutive slots starting at from, all sharing the
+// given state and activity vectors (the event-leap engine's bulk path).
+// Contiguous spans with identical vectors coalesce. Slots must be appended
+// in ascending order; n <= 0 and nil recorders are no-ops.
+func (r *Recorder) RecordSpan(from, n int64, states []markov.State, acts []Activity) {
+	if r == nil || n <= 0 {
+		return
+	}
+	if k := len(r.spans); k > 0 {
+		last := &r.spans[k-1]
+		if last.From+last.Len == from && slices.Equal(last.States, states) && slices.Equal(last.Activities, acts) {
+			last.Len += n
+			r.slots += n
+			return
+		}
 	}
 	st := make([]markov.State, len(states))
 	copy(st, states)
 	ac := make([]Activity, len(acts))
 	copy(ac, acts)
-	r.Steps = append(r.Steps, Step{Slot: slot, States: st, Activities: ac, Event: event})
+	r.spans = append(r.spans, Span{From: from, Len: n, States: st, Activities: ac})
+	r.slots += n
 }
 
-// Len returns the number of recorded steps.
+// AddEvent annotates one slot. Events must be added in ascending slot
+// order; empty messages and nil recorders are no-ops.
+func (r *Recorder) AddEvent(slot int64, msg string) {
+	if r == nil || msg == "" {
+		return
+	}
+	r.events = append(r.events, Event{Slot: slot, Msg: msg})
+}
+
+// Len returns the number of recorded slots.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.Steps)
+	return int(r.slots)
+}
+
+// SpanCount returns the number of run-length spans backing the trace —
+// the recorder's actual memory footprint, as opposed to Len slots.
+func (r *Recorder) SpanCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Events returns the slot-level event annotations in recording order. The
+// slice is a copy.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return append([]Event(nil), r.events...)
+}
+
+// Steps iterates the trace slot by slot, reconstructing per-slot Steps
+// from the span encoding. Slices inside yielded Steps alias span storage
+// and must not be mutated; when one slot carries several events their
+// messages are joined with "; ".
+func (r *Recorder) Steps() iter.Seq[Step] {
+	return func(yield func(Step) bool) {
+		if r == nil {
+			return
+		}
+		ei := 0
+		for _, sp := range r.spans {
+			for i := int64(0); i < sp.Len; i++ {
+				slot := sp.From + i
+				for ei < len(r.events) && r.events[ei].Slot < slot {
+					ei++ // events on unrecorded slots cannot stall the cursor
+				}
+				ev := ""
+				for ei < len(r.events) && r.events[ei].Slot == slot {
+					if ev == "" {
+						ev = r.events[ei].Msg
+					} else {
+						ev += "; " + r.events[ei].Msg
+					}
+					ei++
+				}
+				if !yield(Step{Slot: slot, States: sp.States, Activities: sp.Activities, Event: ev}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// At returns the recorded step of one slot (binary search over spans). It
+// panics when the slot was never recorded.
+func (r *Recorder) At(slot int64) Step {
+	if r != nil {
+		i := sort.Search(len(r.spans), func(i int) bool {
+			return r.spans[i].From+r.spans[i].Len > slot
+		})
+		if i < len(r.spans) && r.spans[i].From <= slot {
+			sp := r.spans[i]
+			ev := ""
+			// Events are appended in ascending slot order; binary-search
+			// the first one at this slot instead of scanning them all.
+			ei := sort.Search(len(r.events), func(i int) bool {
+				return r.events[i].Slot >= slot
+			})
+			for ; ei < len(r.events) && r.events[ei].Slot == slot; ei++ {
+				if ev == "" {
+					ev = r.events[ei].Msg
+				} else {
+					ev += "; " + r.events[ei].Msg
+				}
+			}
+			return Step{Slot: slot, States: sp.States, Activities: sp.Activities, Event: ev}
+		}
+	}
+	panic(fmt.Sprintf("trace: slot %d not recorded", slot))
 }
 
 // Render draws the trace as an ASCII Gantt chart. Each processor row shows
@@ -99,30 +240,32 @@ func (r *Recorder) Render() string {
 	if r.Len() == 0 {
 		return "(empty trace)\n"
 	}
-	n := len(r.Steps)
-	p := len(r.Steps[0].States)
+	p := len(r.spans[0].States)
 	var b strings.Builder
 
-	// Time ruler (tens digits on one line, units on the next) for traces
-	// long enough to need it.
+	// Time ruler (last digit of each slot) for traces long enough to
+	// need it.
 	fmt.Fprintf(&b, "%-5s", "t")
-	for i := 0; i < n; i++ {
-		fmt.Fprintf(&b, "%d", r.Steps[i].Slot%10)
+	for _, sp := range r.spans {
+		for i := int64(0); i < sp.Len; i++ {
+			fmt.Fprintf(&b, "%d", (sp.From+i)%10)
+		}
 	}
 	b.WriteByte('\n')
 
 	for q := 0; q < p; q++ {
 		fmt.Fprintf(&b, "P%-4d", q+1)
-		for i := 0; i < n; i++ {
-			b.WriteByte(cell(r.Steps[i].States[q], r.Steps[i].Activities[q]))
+		for _, sp := range r.spans {
+			c := cell(sp.States[q], sp.Activities[q])
+			for i := int64(0); i < sp.Len; i++ {
+				b.WriteByte(c)
+			}
 		}
 		b.WriteByte('\n')
 	}
 
-	for _, s := range r.Steps {
-		if s.Event != "" {
-			fmt.Fprintf(&b, "t=%-4d %s\n", s.Slot, s.Event)
-		}
+	for _, e := range r.events {
+		fmt.Fprintf(&b, "t=%-4d %s\n", e.Slot, e.Msg)
 	}
 	return b.String()
 }
@@ -166,19 +309,23 @@ func (r *Recorder) AvailabilityScript() []string {
 	if r.Len() == 0 {
 		return nil
 	}
-	p := len(r.Steps[0].States)
+	p := len(r.spans[0].States)
 	out := make([]string, p)
 	var b strings.Builder
 	for q := 0; q < p; q++ {
 		b.Reset()
-		for _, step := range r.Steps {
-			switch step.States[q] {
+		for _, sp := range r.spans {
+			var c byte
+			switch sp.States[q] {
 			case markov.Up:
-				b.WriteByte('u')
+				c = 'u'
 			case markov.Reclaimed:
-				b.WriteByte('r')
+				c = 'r'
 			default:
-				b.WriteByte('d')
+				c = 'd'
+			}
+			for i := int64(0); i < sp.Len; i++ {
+				b.WriteByte(c)
 			}
 		}
 		out[q] = b.String()

@@ -22,8 +22,13 @@ func TestActivityString(t *testing.T) {
 func TestNilRecorderIsNoOp(t *testing.T) {
 	var r *Recorder
 	r.Record(0, []markov.State{markov.Up}, []Activity{Idle}, "")
-	if r.Len() != 0 {
-		t.Fatal("nil recorder stored a step")
+	r.RecordSpan(0, 5, []markov.State{markov.Up}, []Activity{Idle})
+	r.AddEvent(0, "boom")
+	if r.Len() != 0 || r.SpanCount() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder stored something")
+	}
+	for range r.Steps() {
+		t.Fatal("nil recorder yielded a step")
 	}
 }
 
@@ -34,9 +39,118 @@ func TestRecordCopies(t *testing.T) {
 	r.Record(0, states, acts, "")
 	states[0] = markov.Down
 	acts[0] = Compute
-	if r.Steps[0].States[0] != markov.Up || r.Steps[0].Activities[0] != Program {
+	if got := r.At(0); got.States[0] != markov.Up || got.Activities[0] != Program {
 		t.Fatal("Record aliases caller slices")
 	}
+}
+
+// TestRunLengthCoalescing: identical consecutive slots share one span, so
+// a long homogeneous stretch costs O(1) memory instead of O(slots·p).
+func TestRunLengthCoalescing(t *testing.T) {
+	r := &Recorder{}
+	states := []markov.State{markov.Up, markov.Down}
+	acts := []Activity{Compute, NotEnrolled}
+	const n = 100_000
+	for slot := int64(0); slot < n; slot++ {
+		r.Record(slot, states, acts, "")
+	}
+	if r.Len() != n {
+		t.Fatalf("Len = %d, want %d", r.Len(), n)
+	}
+	if r.SpanCount() != 1 {
+		t.Fatalf("SpanCount = %d, want 1 (run-length encoding broken)", r.SpanCount())
+	}
+	// A change in either vector starts a new span.
+	r.Record(n, states, []Activity{Idle, NotEnrolled}, "")
+	if r.SpanCount() != 2 {
+		t.Fatalf("SpanCount = %d after activity change, want 2", r.SpanCount())
+	}
+}
+
+// TestRecordSpanMatchesPerSlotRecording: the bulk path and the per-slot
+// path produce identical traces.
+func TestRecordSpanMatchesPerSlotRecording(t *testing.T) {
+	states := []markov.State{markov.Up, markov.Reclaimed}
+	acts := []Activity{Compute, Idle}
+	perSlot := &Recorder{}
+	for slot := int64(0); slot < 7; slot++ {
+		perSlot.Record(slot, states, acts, "")
+	}
+	perSlot.Record(7, states, acts, "iteration 1 complete")
+
+	bulk := &Recorder{}
+	bulk.AddEvent(7, "iteration 1 complete")
+	bulk.RecordSpan(0, 8, states, acts)
+
+	if perSlot.Render() != bulk.Render() {
+		t.Fatalf("renders differ:\n%s\nvs\n%s", perSlot.Render(), bulk.Render())
+	}
+	if perSlot.SpanCount() != 1 || bulk.SpanCount() != 1 {
+		t.Fatalf("span counts %d/%d, want 1/1", perSlot.SpanCount(), bulk.SpanCount())
+	}
+}
+
+// TestStepsIterator reconstructs per-slot steps, with events attached to
+// their slots.
+func TestStepsIterator(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, []markov.State{markov.Up}, []Activity{Idle}, "")
+	r.Record(1, []markov.State{markov.Up}, []Activity{Idle}, "restart: P1 DOWN")
+	r.Record(2, []markov.State{markov.Down}, []Activity{NotEnrolled}, "")
+	var slots []int64
+	var events []string
+	for step := range r.Steps() {
+		slots = append(slots, step.Slot)
+		if step.Event != "" {
+			events = append(events, step.Event)
+		}
+	}
+	if len(slots) != 3 || slots[0] != 0 || slots[2] != 2 {
+		t.Fatalf("slots = %v", slots)
+	}
+	if len(events) != 1 || events[0] != "restart: P1 DOWN" {
+		t.Fatalf("events = %v", events)
+	}
+	if got := r.At(1).Event; got != "restart: P1 DOWN" {
+		t.Fatalf("At(1).Event = %q", got)
+	}
+	// Early break must not panic or loop.
+	for range r.Steps() {
+		break
+	}
+}
+
+// TestStepsSkipsOrphanEvents: an event on a slot no span covers must not
+// stall the iterator's event cursor and swallow later events.
+func TestStepsSkipsOrphanEvents(t *testing.T) {
+	r := &Recorder{}
+	r.RecordSpan(0, 2, []markov.State{markov.Up}, []Activity{Idle})
+	r.AddEvent(2, "orphan") // slot 2 is never recorded
+	r.RecordSpan(3, 2, []markov.State{markov.Up}, []Activity{Idle})
+	r.AddEvent(4, "real")
+	var got []string
+	for step := range r.Steps() {
+		if step.Event != "" {
+			got = append(got, step.Event)
+		}
+	}
+	if len(got) != 1 || got[0] != "real" {
+		t.Fatalf("events after orphan = %v, want [real]", got)
+	}
+	if ev := r.At(4).Event; ev != "real" {
+		t.Fatalf("At(4).Event = %q", ev)
+	}
+}
+
+func TestAtPanicsOnUnrecordedSlot(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, []markov.State{markov.Up}, []Activity{Idle}, "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(5) on a 1-slot trace did not panic")
+		}
+	}()
+	r.At(5)
 }
 
 func TestRenderCells(t *testing.T) {

@@ -12,13 +12,14 @@ import (
 )
 
 // This file is the context-aware Session API, the package's primary
-// surface: every entry point takes a context.Context (checked at slot
-// boundaries inside simulations and at instance boundaries in campaign
-// worker pools), configuration flows through functional options instead
-// of positional structs, campaign progress is observable as a typed event
-// stream, and the heuristic/model extension points are open string-keyed
-// registries. The struct-options entry points at the bottom of
-// tightsched.go remain as thin deprecated shims.
+// surface: every entry point takes a context.Context (checked at
+// macro-step boundaries inside simulations — see WithTimeAdvance and
+// WithMaxLeap — and at instance boundaries in campaign worker pools),
+// configuration flows through functional options instead of positional
+// structs, campaign progress is observable as a typed event stream, and
+// the heuristic/model extension points are open string-keyed registries.
+// The struct-options entry points at the bottom of tightsched.go remain
+// as thin deprecated shims.
 //
 //	s := tightsched.NewSession(tightsched.WithCap(200_000))
 //	res, err := s.Run(ctx, sc, "Y-IE", tightsched.WithSeed(7))
@@ -176,6 +177,26 @@ func WithAnalytic(o AnalyticOptions) Option {
 	return scoped("WithAnalytic", scopeRun, func(c *sessionConfig) { c.run.Analytic = o })
 }
 
+// WithTimeAdvance selects the simulator's time-advance core: the
+// event-leap macro-step engine (AdvanceLeap, the default) or the
+// reference slot-stepped loop (AdvanceSlot). The two cores produce
+// byte-identical results and traces — AdvanceSlot exists as the
+// differential oracle and for per-slot instrumentation, AdvanceLeap is
+// the fast path whose cost scales with availability transitions and
+// phase events rather than elapsed slots. Campaign entry points take the
+// equivalent knob on the Sweep value (Sweep.Advance).
+func WithTimeAdvance(a TimeAdvance) Option {
+	return scoped("WithTimeAdvance", scopeRun, func(c *sessionConfig) { c.run.Advance = a })
+}
+
+// WithMaxLeap caps one leap macro-step in slots (DefaultMaxLeap when
+// unset), bounding the worst-case cancellation latency of a run: contexts
+// are polled at macro-step boundaries, so at most MaxLeap slots of bulk
+// accounting run between polls. Ignored under AdvanceSlot.
+func WithMaxLeap(n int64) Option {
+	return scoped("WithMaxLeap", scopeRun, func(c *sessionConfig) { c.run.MaxLeap = n })
+}
+
 // WithRecorder captures a per-slot execution trace of a run. It applies
 // to Session.Run only: a comparison runs many trials in parallel and has
 // no single trace to capture.
@@ -300,8 +321,9 @@ func (c *sessionConfig) sweepOptions() exp.RunOptions {
 }
 
 // Run simulates a scenario under the named heuristic. Cancelling ctx
-// stops the simulation at the next slot boundary, returning the partial
-// Result together with the context's error.
+// stops the simulation at the next macro-step boundary (at most
+// WithMaxLeap slots away; every slot under AdvanceSlot), returning the
+// partial Result together with the context's error.
 func (s *Session) Run(ctx context.Context, sc Scenario, heuristic string, opts ...Option) (Result, error) {
 	c := s.config(opts)
 	if err := c.check(scopeSessionRun, "Session.Run"); err != nil {

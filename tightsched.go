@@ -13,8 +13,10 @@
 //     proactive combinations, RANDOM),
 //   - the Section V Markov-chain estimates of success probability and
 //     expected completion time,
-//   - a slot-synchronous discrete-event simulator implementing the
-//     Section III execution model,
+//   - a discrete-event simulator implementing the Section III execution
+//     model, with two byte-identical time-advance cores: the event-leap
+//     macro-step engine (default; cost scales with availability
+//     transitions and phase events) and the reference slot-stepped loop,
 //   - pluggable availability models (the paper's Markov chains, the
 //     Section VII.B semi-Markov future-work model, recorded-trace
 //     replay), and
@@ -30,7 +32,7 @@
 //	// res.Makespan is the number of slots to complete 10 iterations.
 //
 // The Session API (session.go) is the primary surface: every entry point
-// takes a context.Context honored at slot and instance boundaries,
+// takes a context.Context honored at macro-step and instance boundaries,
 // configuration flows through functional options (WithSeed, WithModel,
 // WithJournal, ...), campaigns stream typed events (Session.Stream,
 // Observer), and new heuristics/availability models plug in by name via
@@ -99,9 +101,19 @@ type (
 	// HoldingSpec configures one state's holding-time distribution in a
 	// derived SemiMarkovModel.
 	HoldingSpec = avail.HoldingSpec
+	// SojournMarkovModel is MarkovModel's run-length twin: the same
+	// chains sampled by geometric sojourns, statistically identical but
+	// with O(1) work per availability transition instead of per slot —
+	// the opt-in provider for huge caps under the event-leap engine.
+	SojournMarkovModel = avail.SojournMarkovModel
 	// StateProvider feeds a simulation raw availability states slot by
 	// slot (scripted runs; models subsume it for everything else).
 	StateProvider = avail.StateProvider
+	// RunProvider is the optional StateProvider extension the event-leap
+	// engine consumes: run lengths of constant state vectors instead of
+	// one vector per slot. Providers that lack it are adapted
+	// transparently.
+	RunProvider = avail.RunProvider
 )
 
 // NewSemiMarkovModel returns the standard heavy-tailed semi-Markov model:
@@ -139,8 +151,15 @@ type (
 	AnalyticOptions = analytic.Options
 	// Result is the outcome of one run.
 	Result = sim.Result
-	// Recorder captures per-slot execution traces (see Figure 1).
+	// TimeAdvance selects the simulator's time-advance core
+	// (WithTimeAdvance / Options.Advance / Sweep.Advance).
+	TimeAdvance = sim.TimeAdvance
+	// Recorder captures execution traces (see Figure 1), run-length
+	// encoded: memory scales with availability/activity transitions, not
+	// with slots. Per-slot views come from Recorder.Steps and Recorder.At.
 	Recorder = trace.Recorder
+	// TraceStep is one reconstructed slot of a recorded trace.
+	TraceStep = trace.Step
 	// Heuristic is the scheduling-policy interface; implement it to plug
 	// a custom policy into the simulator via Options.Custom.
 	Heuristic = sched.Heuristic
@@ -179,6 +198,17 @@ type (
 
 // DefaultCap is the paper's makespan failure limit (1,000,000 slots).
 const DefaultCap = sim.DefaultCap
+
+// Time-advance cores (see sim.TimeAdvance): AdvanceLeap is the default
+// event-leap macro-step engine, AdvanceSlot the reference slot-stepped
+// loop; both produce byte-identical results and traces.
+const (
+	AdvanceLeap = sim.AdvanceLeap
+	AdvanceSlot = sim.AdvanceSlot
+)
+
+// DefaultMaxLeap is the default cap on one leap macro-step in slots.
+const DefaultMaxLeap = sim.DefaultMaxLeap
 
 // PaperScenario draws a random scenario with the Section VII.A parameters.
 func PaperScenario(m, ncom, wmin int, seed uint64) Scenario {
