@@ -485,6 +485,70 @@ func BenchmarkEngineSlotLoop(b *testing.B) { benchEngine(b, sim.AdvanceSlot) }
 // the long-sojourn scenario is this PR's acceptance bar).
 func BenchmarkEngineLeap(b *testing.B) { benchEngine(b, sim.AdvanceLeap) }
 
+// BenchmarkEngineBatch measures the lockstep batch core on the markov and
+// long-sojourn engine scenarios as a batch of one — the per-instance
+// overhead floor of the structure-of-arrays walk (cross-instance sharing,
+// the mode's actual payoff, is BenchmarkBatchSweepCell's subject).
+func BenchmarkEngineBatch(b *testing.B) {
+	for _, sc := range benchEngineScenarios(b) {
+		if sc.name == "capbound" {
+			continue // the scripted idle regime is the leap core's win
+		}
+		b.Run(sc.name, func(b *testing.B) {
+			cfg := sc.cfg
+			cfg.Advance = sim.AdvanceBatch
+			cfg.AnalyticCache = analytic.NewPlatformCache()
+			if res, err := sim.Run(cfg); err != nil || res.Failed != sc.wantFail {
+				b.Fatalf("warmup run: %+v err=%v", res, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Failed != sc.wantFail {
+					b.Fatalf("benchmark run: %+v", res)
+				}
+				b.ReportMetric(float64(res.Makespan), "slots")
+			}
+		})
+	}
+}
+
+// BenchmarkBatchSweepCell runs one full campaign cell — the paper's 17
+// heuristics over 2 shared-realization trials — as a single lockstep
+// batch, the dispatch unit of Sweep.Advance = AdvanceBatch. The analytic
+// cache is shared across iterations exactly as a campaign worker shares
+// it across cells of one point.
+func BenchmarkBatchSweepCell(b *testing.B) {
+	sc := tightsched.PaperScenario(5, 10, 1, 20130522)
+	base := sim.Config{
+		Platform:      sc.Platform,
+		App:           sc.App,
+		Cap:           50_000,
+		AnalyticCache: analytic.NewPlatformCache(),
+	}
+	var insts []sim.BatchInstance
+	for trial := 0; trial < 2; trial++ {
+		for _, h := range tightsched.PaperHeuristics() {
+			insts = append(insts, sim.BatchInstance{Heuristic: h, Seed: uint64(1000 + trial)})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, _, err := sim.RunBatch(context.Background(), base, insts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(insts) {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}
+
 // BenchmarkEngineSlots measures raw engine throughput in slots/op with a
 // passive heuristic on a paper-size platform.
 func BenchmarkEngineSlots(b *testing.B) {

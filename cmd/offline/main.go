@@ -119,7 +119,7 @@ func main() {
 			covered++
 			rec, ok := tj.done[i]
 			if !ok {
-				ts := rng.NewKeyed(*seed, uint64(i))
+				ts := exp.TrialStream(*seed, i)
 				in := randomInstance(ts, *p, *n, *m, *w, *pUp)
 				_, exOK, err := offline.SolveUnit(in)
 				check(err)
@@ -160,7 +160,7 @@ func main() {
 			covered++
 			rec, ok := tj.done[i]
 			if !ok {
-				ts := rng.NewKeyed(*seed, uint64(i))
+				ts := exp.TrialStream(*seed, i)
 				g := offline.RandomBipartite(5, 7, ts.Uniform(0.3, 0.9), ts)
 				a, b := ts.IntRange(1, 4), ts.IntRange(1, 5)
 				_, _, encdOK, err := offline.SolveENCD(g, a, b)

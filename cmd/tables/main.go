@@ -73,7 +73,7 @@ func main() {
 		resume    = flag.Bool("resume", false, "continue an interrupted -journal file (skip recorded instances)")
 		shardSpec = flag.String("shard", "", "run one slice i/n of the instance grid (0-based), e.g. -shard 0/3")
 		merge     = flag.String("merge", "", "comma-separated shard journals to recombine and aggregate (no simulation)")
-		advance   = flag.String("advance", "leap", "time-advance core: leap (default) | slot; results are byte-identical, leap is the fast path")
+		advance   = flag.String("advance", "leap", "time-advance core: leap (default) | slot | batch; results are byte-identical, leap is the fast path per instance, batch shares work across a cell's instances")
 	)
 	flag.Parse()
 
@@ -142,8 +142,10 @@ func main() {
 		sweep.Advance = tightsched.AdvanceLeap
 	case "slot":
 		sweep.Advance = tightsched.AdvanceSlot
+	case "batch":
+		sweep.Advance = tightsched.AdvanceBatch
 	default:
-		fmt.Fprintln(os.Stderr, "tables: -advance must be leap or slot")
+		fmt.Fprintln(os.Stderr, "tables: -advance must be leap, slot or batch")
 		os.Exit(2)
 	}
 	if *wmins != "" {
@@ -247,6 +249,11 @@ func main() {
 			tightsched.WithShard(shard),
 		)
 		var runOpts []tightsched.Option
+		var cacheObs *cacheObserver
+		if *advance == "batch" {
+			cacheObs = &cacheObserver{}
+			runOpts = append(runOpts, tightsched.WithObserver(cacheObs))
+		}
 		var j *tightsched.SweepJournal
 		if *journal != "" {
 			var err error
@@ -285,6 +292,14 @@ func main() {
 		if *shardSpec != "" {
 			fmt.Printf("# NOTE: shard %s only — tables below aggregate a partial grid; recombine journals with -merge\n", shard)
 		}
+		if cacheObs != nil && cacheObs.cells > 0 {
+			t := cacheObs.total
+			fmt.Printf("# batch sharing over %d cells: set-stats memo %s hits (%d/%d), shared decisions %s (%d/%d, %d classes)\n",
+				cacheObs.cells,
+				pct(t.MemoHits, t.MemoHits+t.MemoMisses), t.MemoHits, t.MemoHits+t.MemoMisses,
+				pct(t.DecisionHits, t.DecisionHits+t.DecisionMisses), t.DecisionHits, t.DecisionHits+t.DecisionMisses,
+				t.DecisionClasses)
+		}
 	}
 
 	if *table == 1 {
@@ -318,6 +333,30 @@ func main() {
 
 // sweepHeuristics returns the campaign's resolved heuristic list.
 func sweepHeuristics(sweep tightsched.Sweep) []string { return sweep.Spec().Heuristics }
+
+// cacheObserver accumulates the per-cell sharing counters that batched
+// campaigns attach to PointDone events, for the end-of-run summary line.
+type cacheObserver struct {
+	total tightsched.SweepCacheStats
+	cells int
+}
+
+func (o *cacheObserver) OnInstanceDone(tightsched.InstanceDone) {}
+func (o *cacheObserver) OnProgress(tightsched.Progress)         {}
+func (o *cacheObserver) OnPointDone(ev tightsched.PointDone) {
+	if ev.Cache != nil {
+		o.total.Add(*ev.Cache)
+		o.cells++
+	}
+}
+
+// pct formats hits/total as a percentage, dodging 0/0.
+func pct(hits, total uint64) string {
+	if total == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(total))
+}
 
 // openOrCreateJournal resumes an existing journal file or starts a fresh
 // one; with -resume a missing file is created instead of failing, so one

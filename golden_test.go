@@ -205,6 +205,74 @@ func TestLeapGoldenParity(t *testing.T) {
 	}
 }
 
+// TestBatchGoldenParity renders the same reduced Tables I, II and III
+// under the lockstep batch core and requires the formatted artifacts to
+// be byte-identical to the slot reference — cross-instance sharing of
+// availability walks and greedy builds is an execution strategy, not a
+// model change.
+func TestBatchGoldenParity(t *testing.T) {
+	baseSweep := func(m int) tightsched.Sweep {
+		s := tightsched.QuickSweep(m)
+		s.Ncoms = []int{10}
+		s.Wmins = []int{2}
+		s.Scenarios = 1
+		s.Trials = 2
+		s.Cap = 100_000
+		return s
+	}
+	render := func(sweep tightsched.Sweep, table int) string {
+		res, err := tightsched.RunSweep(sweep, nil)
+		if err != nil {
+			t.Fatalf("table %d advance=%v: %v", table, sweep.Advance, err)
+		}
+		if table == 3 {
+			tables, err := res.TableIII(tightsched.ReferenceHeuristic)
+			if err != nil {
+				t.Fatalf("table 3 advance=%v: %v", sweep.Advance, err)
+			}
+			return tightsched.FormatTableIII(tables)
+		}
+		rows, err := res.Table(tightsched.ReferenceHeuristic)
+		if err != nil {
+			t.Fatalf("table %d advance=%v: %v", table, sweep.Advance, err)
+		}
+		return tightsched.FormatTable(rows)
+	}
+	cases := []struct {
+		name  string
+		table int
+		sweep tightsched.Sweep
+	}{
+		{"TableI", 1, baseSweep(5)},
+		{"TableII", 2, func() tightsched.Sweep {
+			s := baseSweep(10)
+			s.Heuristics = []string{"Y-IE", "P-IE", "E-IAY", "E-IY", "E-IP", "IAY", "IY", "IE"}
+			return s
+		}()},
+		{"TableIII", 3, func() tightsched.Sweep {
+			s := baseSweep(5)
+			s.Heuristics = []string{"IE", "Y-IE", "RANDOM"}
+			s.Models = []tightsched.AvailabilityModel{
+				tightsched.MarkovModel{}, tightsched.NewSemiMarkovModel(0.6),
+			}
+			return s
+		}()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			slotSweep := c.sweep
+			slotSweep.Advance = tightsched.AdvanceSlot
+			batchSweep := c.sweep
+			batchSweep.Advance = tightsched.AdvanceBatch
+			slotOut := render(slotSweep, c.table)
+			batchOut := render(batchSweep, c.table)
+			if slotOut != batchOut {
+				t.Fatalf("%s diverges between engines\nslot:\n%s\nbatch:\n%s", c.name, slotOut, batchOut)
+			}
+		})
+	}
+}
+
 // TestQuickSweepDeterministicAcrossWorkers requires a QuickSweep-shaped
 // campaign to produce identical instances regardless of the worker-pool
 // size, serial included.

@@ -55,12 +55,54 @@ func (o Options) spectralCutoff() int {
 	return DefaultSpectralCutoff
 }
 
+// MemoStats counts set-statistics memo traffic on a Platform. A hit is a
+// lookup that found a canonical entry; a miss is a lookup that forced a
+// fresh series (or spectral) evaluation. Entries is the current table
+// size, i.e. the number of distinct equivalence classes held (it drops
+// back when the table clears on overflow, while the hit/miss totals keep
+// accumulating). Counters are monotone over the platform's lifetime, so
+// per-cell figures come from snapshot deltas.
+type MemoStats struct {
+	Hits   uint64
+	Misses uint64
+	// Entries is the number of distinct memoized sets currently held.
+	Entries int
+}
+
+// MemoStats returns the platform's memo counters. All zero when the memo
+// is disabled.
+func (pl *Platform) MemoStats() MemoStats {
+	return MemoStats{
+		Hits:    pl.memoHits,
+		Misses:  pl.memoMisses,
+		Entries: len(pl.memoLo) + len(pl.memoHi),
+	}
+}
+
+// Sub returns the counter delta s - prev (Entries stays absolute: it is a
+// gauge, not a counter).
+func (s MemoStats) Sub(prev MemoStats) MemoStats {
+	return MemoStats{
+		Hits:    s.Hits - prev.Hits,
+		Misses:  s.Misses - prev.Misses,
+		Entries: s.Entries,
+	}
+}
+
 // memoLookup returns the memo entry for a key, or nil.
 func (pl *Platform) memoLookup(k SetKey) *memoEntry {
+	var e *memoEntry
 	if k.rest == "" {
-		return pl.memoLo[k.lo]
+		e = pl.memoLo[k.lo]
+	} else {
+		e = pl.memoHi[k]
 	}
-	return pl.memoHi[k]
+	if e != nil {
+		pl.memoHits++
+	} else {
+		pl.memoMisses++
+	}
+	return e
 }
 
 // memoStore records the canonical statistics of a key, clearing the table

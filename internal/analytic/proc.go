@@ -230,11 +230,21 @@ func (p *Proc) SurviveQ(t float64) float64 {
 	if idx > maxIdx {
 		idx = maxIdx
 	}
+	// The grid is sparse: unvisited indices hold NaN (SurviveReal is a
+	// probability, so NaN is free as the not-yet-computed sentinel) and
+	// each grid point pays its SurviveReal exactly once, on first use.
+	// Filling densely instead would evaluate every quarter-slot point up
+	// to the largest horizon ever asked — the heuristics ask at scattered
+	// communication horizons, so almost all of that work would be wasted.
 	for idx >= len(p.surviveCache) {
-		next := float64(len(p.surviveCache)) / surviveGridStep
-		p.surviveCache = append(p.surviveCache, p.sub.SurviveReal(next))
+		p.surviveCache = append(p.surviveCache, math.NaN())
 	}
-	return p.surviveCache[idx]
+	v := p.surviveCache[idx]
+	if math.IsNaN(v) {
+		v = p.sub.SurviveReal(float64(idx) / surviveGridStep)
+		p.surviveCache[idx] = v
+	}
+	return v
 }
 
 // ExpectedComm returns E^(Pq)(n): the expected number of slots for this

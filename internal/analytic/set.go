@@ -34,6 +34,10 @@ type Platform struct {
 	memoOn bool
 	memoLo map[uint64]*memoEntry
 	memoHi map[SetKey]*memoEntry
+	// memoHits/memoMisses count memoLookup outcomes (see MemoStats):
+	// cross-trial sharing in the batch engine is observable through them.
+	memoHits   uint64
+	memoMisses uint64
 
 	// powPplus memoizes (P⁺)^k by (base bits, k): the heuristics
 	// exponentiate the same few set statistics at the same few workloads

@@ -87,8 +87,10 @@ type Options struct {
 	// agrees with the series within the precision eps.
 	Analytic analytic.Options
 	// Advance selects the simulator's time-advance core: the event-leap
-	// macro-step engine (the default) or the reference slot-stepped loop.
-	// Results and traces are byte-identical either way.
+	// macro-step engine (the default), the reference slot-stepped loop, or
+	// the lockstep batch core (a solo run is a batch of one; the mode pays
+	// off in batched campaigns, see exp.Sweep.Advance). Results and traces
+	// are byte-identical across all cores.
 	Advance sim.TimeAdvance
 	// MaxLeap caps one leap macro-step in slots (sim.DefaultMaxLeap when
 	// 0), bounding worst-case cancellation latency.

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"tightsched/internal/sched"
+	"tightsched/internal/sim"
 )
 
 // tinySweep is a minimal campaign for fast tests.
@@ -42,6 +44,21 @@ func TestSweepValidate(t *testing.T) {
 	bad.Heuristics = []string{"NOPE"}
 	if bad.Validate() == nil {
 		t.Fatal("unknown heuristic accepted")
+	}
+	bad = s
+	bad.Advance = sim.TimeAdvance(99)
+	if bad.Validate() == nil {
+		t.Fatal("unknown advance mode accepted")
+	}
+	bad = s
+	bad.MaxLeap = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative max leap accepted")
+	}
+	ok := s
+	ok.Advance = sim.AdvanceBatch
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("batch advance rejected: %v", err)
 	}
 }
 
@@ -280,10 +297,10 @@ func TestScenarioPlatformDeterministic(t *testing.T) {
 func TestTrialSeedsDiffer(t *testing.T) {
 	s := tinySweep(nil)
 	pt := Point{5, 1, 0}
-	if s.trialSeed(pt, 0) == s.trialSeed(pt, 1) {
+	if s.TrialSeed(pt, 0) == s.TrialSeed(pt, 1) {
 		t.Fatal("trial seeds collide")
 	}
-	if s.trialSeed(pt, 0) != s.trialSeed(pt, 0) {
+	if s.TrialSeed(pt, 0) != s.TrialSeed(pt, 0) {
 		t.Fatal("trial seed not deterministic")
 	}
 }
@@ -292,5 +309,65 @@ func TestHeuristicsDefault(t *testing.T) {
 	s := tinySweep(nil)
 	if got := len(s.heuristics()); got != len(sched.Names()) {
 		t.Fatalf("default heuristics = %d, want all %d", got, len(sched.Names()))
+	}
+}
+
+// TestBatchSweepMatchesSequential: a batched campaign yields exactly the
+// sequential dispatch's instances in the same order, and every PointDone
+// event carries the cell's sharing stats (which sequential dispatch
+// leaves nil).
+func TestBatchSweepMatchesSequential(t *testing.T) {
+	base := tinySweep([]string{"IE", "Y-IE", "IP"})
+	seq, err := Run(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := base
+	batch.Advance = sim.AdvanceBatch
+	var insts []InstanceResult
+	points, withCache := 0, 0
+	for ev, err := range Stream(context.Background(), batch, RunOptions{}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch e := ev.(type) {
+		case InstanceDone:
+			insts = append(insts, e.Instance)
+		case PointDone:
+			points++
+			if e.Cache != nil {
+				withCache++
+				if e.Cache.MemoHits+e.Cache.MemoMisses == 0 {
+					t.Fatalf("point %+v: empty memo stats %+v", e.Point, *e.Cache)
+				}
+			}
+		}
+	}
+	if len(insts) != len(seq.Instances) {
+		t.Fatalf("batch streamed %d instances, sequential %d", len(insts), len(seq.Instances))
+	}
+	// Events arrive in completion order; compare in canonical order, as
+	// the RunWith family does.
+	sortInstances(insts)
+	for i := range insts {
+		if insts[i] != seq.Instances[i] {
+			t.Fatalf("instance %d: batch %+v != sequential %+v", i, insts[i], seq.Instances[i])
+		}
+	}
+	if points == 0 || withCache != points {
+		t.Fatalf("cache stats on %d of %d PointDone events", withCache, points)
+	}
+}
+
+// TestTrialSeedExported: the exported derivation matches what runInstance
+// uses — stable across the sweep's own parameters.
+func TestTrialSeedExported(t *testing.T) {
+	s := tinySweep(nil)
+	pt := Point{Ncom: s.Ncoms[0], Wmin: s.Wmins[0], Scenario: 1}
+	if s.TrialSeed(pt, 0) == s.TrialSeed(pt, 1) {
+		t.Fatal("distinct trials share a seed")
+	}
+	if TrialStream(1, 2) == nil {
+		t.Fatal("nil trial stream")
 	}
 }

@@ -13,7 +13,7 @@ import (
 // Key uniquely identifies one (model, point, trial, heuristic) instance
 // within a campaign — the coordinate a journal deduplicates on. Because
 // every instance's seed derives deterministically from its coordinate
-// (see Sweep.trialSeed), re-running a key always reproduces the same
+// (see Sweep.TrialSeed), re-running a key always reproduces the same
 // InstanceResult, which is what makes resume exact.
 type Key struct {
 	Model     string

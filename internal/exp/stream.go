@@ -9,6 +9,7 @@ import (
 
 	"tightsched/internal/analytic"
 	"tightsched/internal/avail"
+	"tightsched/internal/sim"
 )
 
 // This file is the streamed campaign-event API: Stream runs a sweep's
@@ -50,6 +51,58 @@ type PointDone struct {
 	Point           Point
 	CompletedPoints int
 	TotalPoints     int
+	// Cache reports the cell's cross-instance cache effectiveness when it
+	// ran as a lockstep batch (Sweep.Advance == sim.AdvanceBatch); nil
+	// under the sequential dispatch, and nil for cells fully replayed
+	// from a journal. When a batched cell is partially replayed the
+	// counters cover only the live part.
+	Cache *CacheStats
+}
+
+// CacheStats is the cross-instance sharing summary of one batched cell:
+// the analytic set-statistics memo traffic (cross-trial SetKey sharing)
+// and the shared greedy-build cache traffic (decision equivalence
+// classes). Every decision miss is one equivalence-class representative
+// actually built; the mean class size is (hits+misses)/misses.
+type CacheStats struct {
+	// MemoHits/MemoMisses count set-statistics memo lookups during the
+	// cell; MemoEntries is the number of distinct memoized sets held by
+	// the worker's platform afterwards.
+	MemoHits    uint64
+	MemoMisses  uint64
+	MemoEntries int
+	// DecisionHits/DecisionMisses count shared-build lookups;
+	// DecisionClasses is the number of distinct decision classes held
+	// when the cell finished.
+	DecisionHits    uint64
+	DecisionMisses  uint64
+	DecisionClasses int
+}
+
+// newCacheStats converts the simulator's batch counters.
+func newCacheStats(st sim.BatchStats) *CacheStats {
+	return &CacheStats{
+		MemoHits:        st.Memo.Hits,
+		MemoMisses:      st.Memo.Misses,
+		MemoEntries:     st.Memo.Entries,
+		DecisionHits:    st.Decisions.Hits,
+		DecisionMisses:  st.Decisions.Misses,
+		DecisionClasses: st.Decisions.Classes,
+	}
+}
+
+// Add accumulates another cell's counters (for campaign-wide summaries).
+func (c *CacheStats) Add(o CacheStats) {
+	c.MemoHits += o.MemoHits
+	c.MemoMisses += o.MemoMisses
+	if o.MemoEntries > c.MemoEntries {
+		c.MemoEntries = o.MemoEntries
+	}
+	c.DecisionHits += o.DecisionHits
+	c.DecisionMisses += o.DecisionMisses
+	if o.DecisionClasses > c.DecisionClasses {
+		c.DecisionClasses = o.DecisionClasses
+	}
 }
 
 // Progress reports completion counters: it follows every live
@@ -116,12 +169,23 @@ func Stream(ctx context.Context, sweep Sweep, opts RunOptions) iter.Seq2[Event, 
 			modelByName[m.Name()] = m
 		}
 
+		// Under the batch core the dispatch unit widens from one
+		// (coord, heuristic) instance to one (model, point) cell: every
+		// live (trial, heuristic) pair of the cell runs as a single
+		// lockstep batch on one worker, sharing availability walks and
+		// decision builds. Journal records and events stay per-instance
+		// either way.
+		batch := sweep.Advance == sim.AdvanceBatch
 		type job struct {
 			c Coord
 			h string
+			// pairs holds a batched cell's live work; empty for a
+			// sequential single-instance job.
+			pairs []cellPair
 		}
 		var jobs []job
 		var prior []InstanceResult
+		liveCount := 0
 		remaining := map[pointKey]int{}
 		for idx, c := range sweep.Coords() {
 			if !opts.Shard.Covers(idx) {
@@ -135,12 +199,27 @@ func Stream(ctx context.Context, sweep Sweep, opts RunOptions) iter.Seq2[Event, 
 						continue
 					}
 				}
-				jobs = append(jobs, job{c, h})
+				liveCount++
+				if batch {
+					// Coords enumerate trials of a cell contiguously, so
+					// the current cell is always the last job (if any).
+					if n := len(jobs); n == 0 || jobs[n-1].c.Model != c.Model || jobs[n-1].c.Point != c.Point {
+						jobs = append(jobs, job{c: Coord{Model: c.Model, Point: c.Point, Trial: -1}})
+					}
+					last := &jobs[len(jobs)-1]
+					last.pairs = append(last.pairs, cellPair{trial: c.Trial, h: h})
+					continue
+				}
+				jobs = append(jobs, job{c: c, h: h})
 			}
 		}
-		total := len(jobs) + len(prior)
+		total := liveCount + len(prior)
 		totalPoints := len(remaining)
 		completed, completedPoints := 0, 0
+
+		// cellStats holds batched cells' cache counters until their
+		// PointDone fires.
+		cellStats := map[pointKey]*CacheStats{}
 
 		// emitInstance yields the InstanceDone event (and the PointDone
 		// it may complete) and reports whether the consumer wants more.
@@ -154,9 +233,11 @@ func Stream(ctx context.Context, sweep Sweep, opts RunOptions) iter.Seq2[Event, 
 			if remaining[pk] == 0 {
 				completedPoints++
 				if !yield(PointDone{Model: pk.Model, Point: pk.Point,
-					CompletedPoints: completedPoints, TotalPoints: totalPoints}, nil) {
+					CompletedPoints: completedPoints, TotalPoints: totalPoints,
+					Cache: cellStats[pk]}, nil) {
 					return false
 				}
+				delete(cellStats, pk)
 			}
 			return true
 		}
@@ -200,8 +281,16 @@ func Stream(ctx context.Context, sweep Sweep, opts RunOptions) iter.Seq2[Event, 
 			workers = len(jobs)
 		}
 
+		// packet carries one completed instance to the collector; batched
+		// cells attach their cache counters to every instance, and the
+		// collector keeps the last seen per cell.
+		type packet struct {
+			inst  InstanceResult
+			cache *CacheStats
+		}
+
 		jobCh := make(chan int)
-		resCh := make(chan InstanceResult, workers)
+		resCh := make(chan packet, workers)
 		errCh := make(chan error, workers)
 
 		var wg sync.WaitGroup
@@ -217,32 +306,52 @@ func Stream(ctx context.Context, sweep Sweep, opts RunOptions) iter.Seq2[Event, 
 					if ctx.Err() != nil {
 						return
 					}
-					res, err := runInstance(ctx, &sweep, modelByName[j.c.Model], j.c.Point, j.c.Trial, j.h, cache)
-					if err != nil {
-						// A run aborted by cancellation is not a campaign
-						// failure; the stream reports the context's error
-						// once, at the end.
-						if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-							select {
-							case errCh <- err:
-							default:
+					var packets []packet
+					if len(j.pairs) > 0 {
+						insts, cst, err := runCell(ctx, &sweep, modelByName[j.c.Model], j.c.Model, j.c.Point, j.pairs, cache)
+						if err != nil {
+							if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+								select {
+								case errCh <- err:
+								default:
+								}
 							}
+							cancel()
+							return
 						}
-						cancel()
-						return
+						for _, inst := range insts {
+							packets = append(packets, packet{inst: inst, cache: cst})
+						}
+					} else {
+						res, err := runInstance(ctx, &sweep, modelByName[j.c.Model], j.c.Point, j.c.Trial, j.h, cache)
+						if err != nil {
+							// A run aborted by cancellation is not a campaign
+							// failure; the stream reports the context's error
+							// once, at the end.
+							if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+								select {
+								case errCh <- err:
+								default:
+								}
+							}
+							cancel()
+							return
+						}
+						packets = []packet{{inst: InstanceResult{
+							Point:     j.c.Point,
+							Trial:     j.c.Trial,
+							Model:     j.c.Model,
+							Heuristic: j.h,
+							Makespan:  res.Makespan,
+							Failed:    res.Failed,
+						}}}
 					}
-					inst := InstanceResult{
-						Point:     j.c.Point,
-						Trial:     j.c.Trial,
-						Model:     j.c.Model,
-						Heuristic: j.h,
-						Makespan:  res.Makespan,
-						Failed:    res.Failed,
-					}
-					select {
-					case resCh <- inst:
-					case <-ctx.Done():
-						return
+					for _, pk := range packets {
+						select {
+						case resCh <- pk:
+						case <-ctx.Done():
+							return
+						}
 					}
 				}
 			}()
@@ -275,7 +384,11 @@ func Stream(ctx context.Context, sweep Sweep, opts RunOptions) iter.Seq2[Event, 
 		// The iterator's caller is the collector: journal appends happen
 		// here, before the event is yielded, so every instance a consumer
 		// observes is already durable.
-		for inst := range resCh {
+		for pk := range resCh {
+			inst := pk.inst
+			if pk.cache != nil {
+				cellStats[pointKey{modelName(inst), inst.Point}] = pk.cache
+			}
 			if opts.Journal != nil {
 				if err := opts.Journal.Append(inst); err != nil {
 					shutdown()

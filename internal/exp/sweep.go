@@ -119,6 +119,15 @@ func (s *Sweep) Validate() error {
 		}
 		seen[m.Name()] = true
 	}
+	// Advance is a runtime knob, but an out-of-range value must fail here
+	// — at campaign validation — rather than on the first instance deep
+	// inside a worker (or, worse, fall back to a default core).
+	if err := s.Advance.Validate(); err != nil {
+		return err
+	}
+	if s.MaxLeap < 0 {
+		return fmt.Errorf("exp: negative max leap %d", s.MaxLeap)
+	}
 	return nil
 }
 
@@ -206,11 +215,24 @@ func (s *Sweep) scenarioPlatform(pt Point) *platform.Platform {
 	return platform.GeneratePaper(cfg, stream)
 }
 
-// trialSeed derives the availability seed of one trial. It does not depend
-// on the heuristic: every heuristic sees the same realization.
-func (s *Sweep) trialSeed(pt Point, trial int) uint64 {
+// TrialSeed derives the availability seed of one (point, trial) instance
+// from the master seed. It does not depend on the heuristic — every
+// heuristic sees the same realization — and it is the single derivation
+// the sequential path (runInstance), the batched cell path (runCell) and
+// external tooling share, so the batch engine cannot drift from the
+// sequential seed schedule.
+func (s *Sweep) TrialSeed(pt Point, trial int) uint64 {
 	return rng.NewKeyed(s.Seed, 0x7e57, uint64(s.M), uint64(pt.Ncom),
 		uint64(pt.Wmin), uint64(pt.Scenario), uint64(trial)).Uint64()
+}
+
+// TrialStream returns the deterministic RNG stream of trial i under a
+// master seed: the per-trial derivation used outside the sweep grid,
+// where there is no Point to key on (cmd/offline's instance generators
+// draw from it directly; core.Compare derives its per-trial sim seeds the
+// same way).
+func TrialStream(master uint64, trial int) *rng.Stream {
+	return rng.NewKeyed(master, uint64(trial))
 }
 
 // application returns the application of a point (Tdata = wmin,
@@ -249,7 +271,7 @@ func runInstance(ctx context.Context, s *Sweep, model avail.Model, pt Point, tri
 		Platform:      s.scenarioPlatform(pt),
 		App:           s.application(pt.Wmin),
 		Heuristic:     h,
-		Seed:          s.trialSeed(pt, trial),
+		Seed:          s.TrialSeed(pt, trial),
 		Cap:           s.Cap,
 		InitialAllUp:  s.InitialAllUp,
 		Model:         model,
@@ -257,6 +279,57 @@ func runInstance(ctx context.Context, s *Sweep, model avail.Model, pt Point, tri
 		Advance:       s.Advance,
 		MaxLeap:       s.MaxLeap,
 	})
+}
+
+// cellPair is one live (trial, heuristic) pair of a batched cell job.
+type cellPair struct {
+	trial int
+	h     string
+}
+
+// runCell executes every live instance of one (model, point) cell as a
+// single lockstep batch (sim.RunBatch): the sweep's batch dispatch unit.
+// Seeds come from the same TrialSeed schedule as runInstance, so each
+// returned InstanceResult is byte-identical to its sequential
+// counterpart; results are returned in pairs order along with the cell's
+// cache-effectiveness counters.
+func runCell(ctx context.Context, s *Sweep, model avail.Model, modelName string, pt Point, pairs []cellPair, cache *analytic.PlatformCache) (out []InstanceResult, cst *CacheStats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, cst = nil, nil
+			err = fmt.Errorf("exp: model %s, point %+v, batched cell: panic: %v",
+				modelName, pt, p)
+		}
+	}()
+	base := sim.Config{
+		Platform:      s.scenarioPlatform(pt),
+		App:           s.application(pt.Wmin),
+		Cap:           s.Cap,
+		InitialAllUp:  s.InitialAllUp,
+		Model:         model,
+		AnalyticCache: cache,
+		MaxLeap:       s.MaxLeap,
+	}
+	insts := make([]sim.BatchInstance, len(pairs))
+	for i, pr := range pairs {
+		insts[i] = sim.BatchInstance{Heuristic: pr.h, Seed: s.TrialSeed(pt, pr.trial)}
+	}
+	results, stats, err := sim.RunBatch(ctx, base, insts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out = make([]InstanceResult, len(results))
+	for i, r := range results {
+		out[i] = InstanceResult{
+			Point:     pt,
+			Trial:     pairs[i].trial,
+			Model:     modelName,
+			Heuristic: pairs[i].h,
+			Makespan:  r.Makespan,
+			Failed:    r.Failed,
+		}
+	}
+	return out, newCacheStats(stats), nil
 }
 
 // RunOptions tune campaign execution beyond the Sweep itself: journaling,

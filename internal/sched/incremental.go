@@ -49,15 +49,33 @@ func (h *incremental) DecideSpan(v *View, n int64) (app.Assignment, int64) {
 	return h.Decide(v), n
 }
 
-// build builds an assignment greedily. It returns nil when the UP workers
-// cannot host m tasks.
+// build builds an assignment greedily, consulting the batch decision
+// cache first when one is installed: a fresh build is a pure function of
+// the cache key (criterion, UP set, fresh-build retention, elapsed under
+// CritY), so a hit returns exactly the assignment this instance would
+// have built — see DecisionCache.
+func (h *incremental) build(v *View) app.Assignment {
+	dc := h.env.Decisions
+	if dc == nil {
+		return h.buildFresh(v)
+	}
+	if asg, ok := dc.lookup(h.env, h.crit, v); ok {
+		return asg
+	}
+	asg := h.buildFresh(v)
+	dc.store(asg)
+	return asg
+}
+
+// buildFresh builds an assignment greedily. It returns nil when the UP
+// workers cannot host m tasks.
 //
 // Cost: m assignment steps, each scoring at most p candidates. Scoring a
 // candidate takes one O(T) series pass for the compute estimate (through
 // the incremental SetEval) plus O(|S|) for the communication estimate.
 // Only the returned assignment is allocated; everything else lives in the
 // heuristic's scratch buffers.
-func (h *incremental) build(v *View) app.Assignment {
+func (h *incremental) buildFresh(v *View) app.Assignment {
 	env := h.env
 	m := env.App.Tasks
 	h.ups = upWorkersInto(h.ups, v.States)

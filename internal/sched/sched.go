@@ -125,6 +125,12 @@ type Env struct {
 	Analytic *analytic.Platform
 	// Rand is the stream randomized heuristics draw from (RANDOM).
 	Rand *rng.Stream
+	// Decisions, when non-nil, shares fresh greedy builds across the
+	// heuristic instances of one lockstep batch (see DecisionCache). It
+	// is consulted only by the incremental build path — RANDOM and the
+	// static baselines never route through it — and a nil cache restores
+	// the solo behavior exactly.
+	Decisions *DecisionCache
 	// RenewalE switches the expected-completion-time metric from the
 	// formula as printed in the paper, 1 + (W−1)·Ec/(P⁺)^{W−1}, to the
 	// renewal form 1 + (W−1)·Ec/P⁺.

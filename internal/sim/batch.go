@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"tightsched/internal/analytic"
+	"tightsched/internal/avail"
+	"tightsched/internal/markov"
+	"tightsched/internal/sched"
+	"tightsched/internal/trace"
+)
+
+// This file is the lockstep structure-of-arrays core (AdvanceBatch): all
+// instances of one trial — every heuristic sharing a platform,
+// application and availability realization — advance through the same
+// slots together, and a sweep cell's trial groups run back to back. The
+// transition-dense Markov regime defeats the leap core (runs average
+// ~1.5 slots, so per-slot structure is exhausted); the structure that
+// remains is *across* instances:
+//
+//   - instances of one trial see the same availability realization, so
+//     the batch draws each trial's transitions once per run from that
+//     trial's own seeded stream and shares the state vector across the
+//     trial group (solo runs re-sample the identical walk once per
+//     heuristic, and re-derive the provider's stationary setup with it);
+//   - fresh greedy builds are pure functions of (criterion, UP set,
+//     retention, elapsed-under-CritY), so instances whose believed views
+//     coincide form an equivalence class that pays for one build through
+//     the shared sched.DecisionCache, with the analytic SetStats memo
+//     (keyed by believed-state SetKey) already shared underneath;
+//   - per-instance results accumulate in bulk through the same
+//     homogeneous-span arithmetic as the leap core.
+//
+// Parity is structural: each instance executes exactly the slot/leap
+// recurrence via the engine's own decideSpan/executeSpan/handleDowns
+// methods over exactly the leap core's homogeneous runs — the shared
+// walk realizes the same state sequence a solo run's provider would, and
+// the shared caches return values their misses would have computed — so
+// Results, traces and events are byte-identical to the other cores
+// (batch_diff_test.go, TestBatchGoldenParity).
+
+// BatchInstance names one simulation of a batch: a heuristic (or a
+// custom policy) plus the trial seed selecting its availability
+// realization. Instances with equal seeds form a trial group and share
+// one availability walk.
+type BatchInstance struct {
+	// Heuristic is one of sched.Names(); ignored when Custom is set.
+	Heuristic string
+	// Custom, when non-nil, is used instead of building Heuristic by
+	// name. Custom policies run unshared (they do not route through the
+	// decision cache) but still share their trial's availability walk.
+	Custom sched.Heuristic
+	// Seed determines the instance's availability realization and any
+	// randomized decisions, exactly as Config.Seed does solo.
+	Seed uint64
+	// Recorder, when non-nil, records this instance's per-slot trace.
+	Recorder *trace.Recorder
+}
+
+// BatchStats summarizes the cross-instance sharing of one batch.
+type BatchStats struct {
+	// Memo is the analytic set-statistics memo traffic during the batch
+	// (a delta against the platform's counters at entry, so a cache-
+	// warmed platform reports only this batch's lookups).
+	Memo analytic.MemoStats
+	// Decisions is the shared greedy-build cache traffic: every miss is
+	// one equivalence-class representative built, every hit a build some
+	// instance did not pay for.
+	Decisions sched.DecisionStats
+}
+
+// batchGroup is one trial's slice of the structure-of-arrays state: the
+// shared availability walk and the instances consuming it.
+type batchGroup struct {
+	rp     avail.RunProvider
+	states []markov.State
+	// downs is the per-run scratch list of DOWN processors, scanned once
+	// from the shared state vector and handed to every instance.
+	downs []int
+	insts []*batchInst
+	live  int
+}
+
+// batchInst is one instance's engine plus its lockstep bookkeeping.
+type batchInst struct {
+	e    *engine
+	done bool
+}
+
+// RunBatch executes all instances in lockstep under the batch core. The
+// shared cell configuration comes from base — Platform, App, Model, Cap,
+// InitialAllUp, Eps, Analytic, AnalyticCache, RenewalE, Checkpoint and
+// MaxLeap apply to every instance — while base's per-instance fields
+// (Heuristic, Custom, Seed, Recorder, Advance) are ignored in favor of
+// each BatchInstance. Results are returned in instance order.
+//
+// Each instance's Result, trace and events are byte-identical to a solo
+// Run of the equivalent Config under any advance mode. When base.
+// Provider is set it overrides every trial's realization (as it does
+// solo) and is consulted once for the whole batch, so it must be
+// deterministic by slot (scripted providers are).
+//
+// Cancellation follows RunContext's contract, checked once per group
+// step: completed instances keep their results, live ones return the
+// partial Result accumulated so far (zero for trial groups not yet
+// started), and the context's error is returned alongside.
+func RunBatch(ctx context.Context, base Config, insts []BatchInstance) ([]Result, BatchStats, error) {
+	if len(insts) == 0 {
+		return nil, BatchStats{}, fmt.Errorf("sim: empty batch")
+	}
+	if base.AnalyticCache == nil {
+		// Instances of a batch share believed matrices; one private
+		// cache makes them share the analytic platform (and its memo)
+		// even when the caller did not provide one.
+		base.AnalyticCache = analytic.NewPlatformCache()
+	}
+	dc := sched.NewDecisionCache()
+	engines := make([]*batchInst, len(insts))
+	for i, inst := range insts {
+		cfg := base
+		cfg.Heuristic = inst.Heuristic
+		cfg.Custom = inst.Custom
+		cfg.Seed = inst.Seed
+		cfg.Recorder = inst.Recorder
+		cfg.Advance = AdvanceBatch
+		e, err := newEngine(cfg, false)
+		if err != nil {
+			return nil, BatchStats{}, err
+		}
+		e.env.Decisions = dc
+		engines[i] = &batchInst{e: e}
+	}
+	apl := engines[0].e.env.Analytic
+	memoBefore := apl.MemoStats()
+
+	// Group instances by trial: equal seeds share one availability walk.
+	// With an explicit provider the realization is scheduling- and
+	// seed-independent, so the whole batch forms a single group.
+	model := base.Model
+	if model == nil {
+		model = base.Platform.AvailModel()
+	}
+	mats := base.Platform.Matrices()
+	var groups []*batchGroup
+	p := base.Platform.Size()
+	if base.Provider != nil {
+		g := &batchGroup{
+			rp:     avail.AsRunProvider(base.Provider),
+			states: make([]markov.State, p),
+		}
+		for _, bi := range engines {
+			g.insts = append(g.insts, bi)
+		}
+		groups = []*batchGroup{g}
+	} else {
+		bySeed := make(map[uint64]*batchGroup, len(insts))
+		for i, bi := range engines {
+			g := bySeed[insts[i].Seed]
+			if g == nil {
+				g = &batchGroup{
+					rp:     avail.AsRunProvider(model.Provider(mats, insts[i].Seed, base.InitialAllUp)),
+					states: make([]markov.State, p),
+				}
+				bySeed[insts[i].Seed] = g
+				groups = append(groups, g)
+			}
+			g.insts = append(g.insts, bi)
+		}
+	}
+	for _, g := range groups {
+		g.live = len(g.insts)
+		for _, bi := range g.insts {
+			// The engine's state vector aliases the group's: every
+			// engine method reads availability through e.states and
+			// none writes it.
+			bi.e.states = g.states
+		}
+	}
+
+	err := runBatchLoop(ctx, groups)
+	results := make([]Result, len(engines))
+	for i, bi := range engines {
+		results[i] = bi.e.res
+	}
+	stats := BatchStats{
+		Memo:      apl.MemoStats().Sub(memoBefore),
+		Decisions: dc.Stats(),
+	}
+	return results, stats, err
+}
+
+// runBatchLoop advances the trial groups one after the other: groups
+// share no runtime state beyond the time-independent caches, so there is
+// nothing to synchronize across them, and running each group through its
+// own full availability runs keeps every instance's decision epochs at
+// exactly the solo leap core's boundaries (a cross-group lockstep would
+// chop every run to the shortest live trial's, roughly doubling the
+// decision epochs of a two-trial cell without changing any result).
+func runBatchLoop(ctx context.Context, groups []*batchGroup) error {
+	for _, g := range groups {
+		if err := runGroup(ctx, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runGroup is the lockstep slot walk of one trial group: each step draws
+// the trial's next homogeneous run — one RNG block-fill shared by the
+// whole group — and advances every live instance through it via the
+// engine's own homogeneous-span methods.
+func runGroup(ctx context.Context, g *batchGroup) error {
+	capSlots := g.insts[0].e.cap
+	maxLeap := g.insts[0].e.cfg.MaxLeap
+	if maxLeap == 0 {
+		maxLeap = DefaultMaxLeap
+	}
+	done := ctx.Done()
+	slot := int64(0)
+	for g.live > 0 && slot < capSlots {
+		// One context poll per group step, as the leap core polls per
+		// macro-step. Instances of groups not yet started keep their
+		// zero Result, consistent with the cancellation contract.
+		if done != nil {
+			select {
+			case <-done:
+				for _, bi := range g.insts {
+					if !bi.done {
+						bi.e.res.Makespan = slot
+					}
+				}
+				return ctx.Err()
+			default:
+			}
+		}
+		limit := capSlots - slot
+		if limit > maxLeap {
+			limit = maxLeap
+		}
+		run := g.rp.StatesRun(slot, g.states, limit)
+		if run < 1 {
+			run = 1
+		} else if run > limit {
+			run = limit
+		}
+		g.downs = g.downs[:0]
+		for q, s := range g.states {
+			if s == markov.Down {
+				g.downs = append(g.downs, q)
+			}
+		}
+		for _, bi := range g.insts {
+			if bi.done {
+				continue
+			}
+			e := bi.e
+			downEvent := ""
+			if len(g.downs) > 0 {
+				// New DOWNs appear only at a run's first slot, and
+				// handleDowns is idempotent across the rest — exactly
+				// the leap core's once-per-run call, with the shared
+				// scan skipped when the run has no DOWN at all.
+				downEvent = e.handleDownsList(g.downs)
+			}
+			for off := int64(0); off < run; {
+				t := slot + off
+				keep, err := e.decideSpan(t, run-off)
+				if err != nil {
+					return err
+				}
+				finEvent := ""
+				j := e.executeSpan(t, keep, &finEvent)
+				e.recordLeap(t, j, downEvent, finEvent)
+				downEvent = ""
+				if e.res.Completed == e.cfg.App.Iterations {
+					e.res.Makespan = t + j
+					bi.done = true
+					g.live--
+					break
+				}
+				off += j
+			}
+		}
+		slot += run
+	}
+	for _, bi := range g.insts {
+		if !bi.done {
+			bi.e.res.Failed = true
+			bi.e.res.Makespan = capSlots
+		}
+	}
+	return nil
+}

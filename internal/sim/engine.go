@@ -46,6 +46,15 @@ const (
 	// full bookkeeping. It remains as the differential oracle and for
 	// per-slot instrumentation of custom providers.
 	AdvanceSlot
+	// AdvanceBatch is the lockstep structure-of-arrays core (batch.go):
+	// all instances of a trial group advance through the same global
+	// slots, sharing one availability walk per trial and one greedy
+	// build per decision equivalence class. A single Run under
+	// AdvanceBatch is a batch of one instance; the mode pays off through
+	// RunBatch, where a sweep cell's trials and heuristics run together.
+	// Results and traces stay byte-identical to the other cores (pinned
+	// by TestBatchGoldenParity and batch_diff_test.go).
+	AdvanceBatch
 )
 
 // String returns the option-flag spelling of the advance mode.
@@ -55,8 +64,23 @@ func (a TimeAdvance) String() string {
 		return "leap"
 	case AdvanceSlot:
 		return "slot"
+	case AdvanceBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("TimeAdvance(%d)", int(a))
+	}
+}
+
+// Validate rejects values outside the defined advance modes. It is the
+// single validation point shared by the engine, the sweep harness and
+// the session options, so an out-of-range mode fails loudly at
+// configuration time instead of falling back to a default core.
+func (a TimeAdvance) Validate() error {
+	switch a {
+	case AdvanceLeap, AdvanceSlot, AdvanceBatch:
+		return nil
+	default:
+		return fmt.Errorf("sim: unknown time advance %d", int(a))
 	}
 }
 
@@ -114,8 +138,10 @@ type Config struct {
 	// model; see the Checkpoint type). The zero value disables it.
 	Checkpoint Checkpoint
 	// Advance selects the time-advance core: the event-leap macro-step
-	// engine (AdvanceLeap, the zero value) or the reference slot-stepped
-	// loop (AdvanceSlot). Both produce byte-identical results and traces.
+	// engine (AdvanceLeap, the zero value), the reference slot-stepped
+	// loop (AdvanceSlot), or the lockstep structure-of-arrays core
+	// (AdvanceBatch; see RunBatch). All produce byte-identical results
+	// and traces.
 	Advance TimeAdvance
 	// MaxLeap caps one macro-step of the leap engine in slots
 	// (DefaultMaxLeap when 0), bounding worst-case cancellation latency.
@@ -196,6 +222,12 @@ type engine struct {
 	ckptW       int
 	ckptPending int
 
+	// viewBuf is the reusable snapshot handed to the heuristic: every
+	// consumer reads it synchronously inside Decide/DecideSpan (none
+	// retains the pointer), so one buffer per engine avoids an
+	// allocation per decision epoch.
+	viewBuf sched.View
+
 	res Result
 }
 
@@ -212,17 +244,46 @@ func Run(cfg Config) (Result, error) {
 // so far (Makespan = slots executed, Failed unset) together with the
 // context's error. An uncancellable context costs nothing on either loop.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.Advance == AdvanceBatch {
+		// A solo batch run: one instance, same lockstep core.
+		inst := BatchInstance{
+			Heuristic: cfg.Heuristic,
+			Custom:    cfg.Custom,
+			Seed:      cfg.Seed,
+			Recorder:  cfg.Recorder,
+		}
+		results, _, err := RunBatch(ctx, cfg, []BatchInstance{inst})
+		if len(results) != 1 {
+			return Result{}, err
+		}
+		return results[0], err
+	}
+	e, err := newEngine(cfg, true)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Advance == AdvanceSlot {
+		return e.runSlot(ctx)
+	}
+	return e.runLeap(ctx)
+}
+
+// newEngine validates the configuration and assembles one instance's
+// engine. When needProv is false the availability provider seam is left
+// nil — the batch core shares one provider across a trial's instances
+// and aliases the engine's state vector to the trial group's.
+func newEngine(cfg Config, needProv bool) (*engine, error) {
 	if cfg.Platform == nil {
-		return Result{}, fmt.Errorf("sim: nil platform")
+		return nil, fmt.Errorf("sim: nil platform")
 	}
 	if err := cfg.Platform.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if err := cfg.App.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if cfg.Platform.TotalCapacity() < cfg.App.Tasks {
-		return Result{}, fmt.Errorf("sim: platform capacity %d below %d tasks",
+		return nil, fmt.Errorf("sim: platform capacity %d below %d tasks",
 			cfg.Platform.TotalCapacity(), cfg.App.Tasks)
 	}
 	eps := cfg.Eps
@@ -236,7 +297,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	base := cfg.Platform.Matrices()
 	believed := model.EstimatorMatrices(base)
 	if len(believed) != cfg.Platform.Size() {
-		return Result{}, fmt.Errorf("sim: model %s believes %d processors, platform has %d",
+		return nil, fmt.Errorf("sim: model %s believes %d processors, platform has %d",
 			model.Name(), len(believed), cfg.Platform.Size())
 	}
 	var apl *analytic.Platform
@@ -258,32 +319,35 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		var err error
 		h, err = sched.Build(cfg.Heuristic, env)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
-	prov := cfg.Provider
-	if prov == nil {
-		prov = model.Provider(base, cfg.Seed, cfg.InitialAllUp)
+	var prov StateProvider
+	if needProv {
+		prov = cfg.Provider
+		if prov == nil {
+			prov = model.Provider(base, cfg.Seed, cfg.InitialAllUp)
+		}
 	}
 	capSlots := cfg.Cap
 	if capSlots == 0 {
 		capSlots = DefaultCap
 	}
 	if capSlots < 0 {
-		return Result{}, fmt.Errorf("sim: negative cap %d", capSlots)
+		return nil, fmt.Errorf("sim: negative cap %d", capSlots)
 	}
 	if cfg.Checkpoint.Every < 0 || cfg.Checkpoint.Cost < 0 {
-		return Result{}, fmt.Errorf("sim: invalid checkpoint config %+v", cfg.Checkpoint)
+		return nil, fmt.Errorf("sim: invalid checkpoint config %+v", cfg.Checkpoint)
 	}
-	if cfg.Advance != AdvanceLeap && cfg.Advance != AdvanceSlot {
-		return Result{}, fmt.Errorf("sim: unknown time advance %d", int(cfg.Advance))
+	if err := cfg.Advance.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MaxLeap < 0 {
-		return Result{}, fmt.Errorf("sim: negative max leap %d", cfg.MaxLeap)
+		return nil, fmt.Errorf("sim: negative max leap %d", cfg.MaxLeap)
 	}
 
 	p := cfg.Platform.Size()
-	e := &engine{
+	return &engine{
 		cfg:     cfg,
 		env:     env,
 		h:       h,
@@ -294,11 +358,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		workers: make([]sched.WorkerInfo, p),
 		acts:    make([]trace.Activity, p),
 		res:     Result{Heuristic: h.Name()},
-	}
-	if cfg.Advance == AdvanceSlot {
-		return e.runSlot(ctx)
-	}
-	return e.runLeap(ctx)
+	}, nil
 }
 
 // runSlot is the reference slot-stepped core: the paper's engine as
@@ -367,6 +427,34 @@ func (e *engine) handleDowns() string {
 	return event
 }
 
+// handleDownsList is handleDowns restricted to a precomputed ascending
+// list of the DOWN processors of the current homogeneous run: the batch
+// core scans the shared state vector once per trial group and hands every
+// instance the same list, instead of each instance re-scanning all p
+// states. Semantics are identical to handleDowns.
+func (e *engine) handleDownsList(downs []int) string {
+	event := ""
+	broke := false
+	for _, q := range downs {
+		w := &e.workers[q]
+		if w.HasProgram || w.DataHeld > 0 || w.ProgProgress > 0 || w.DataProgress > 0 {
+			*w = sched.WorkerInfo{}
+			e.retEpoch++
+		}
+		if e.current != nil && e.current[q] > 0 {
+			broke = true
+			if event == "" {
+				event = fmt.Sprintf("restart: P%d DOWN", q+1)
+			}
+		}
+	}
+	if broke {
+		e.res.Restarts++
+		e.dropConfiguration()
+	}
+	return event
+}
+
 // dropConfiguration abandons the current configuration: all enrolled
 // workers are "removed", so their in-flight message progress is lost
 // (complete messages and the program are kept unless DOWN took them).
@@ -381,9 +469,10 @@ func (e *engine) dropConfiguration() {
 	e.computeDone = 0
 }
 
-// view builds the heuristic's per-slot snapshot.
+// view refreshes the heuristic's per-slot snapshot in the engine's
+// reusable buffer (see viewBuf).
 func (e *engine) view(slot int64) *sched.View {
-	return &sched.View{
+	e.viewBuf = sched.View{
 		Slot:           slot,
 		States:         e.states,
 		Workers:        e.workers,
@@ -392,6 +481,7 @@ func (e *engine) view(slot int64) *sched.View {
 		Elapsed:        slot - e.iterStart,
 		RetentionEpoch: e.retEpoch,
 	}
+	return &e.viewBuf
 }
 
 // decide asks the heuristic for this slot's configuration and adopts it.

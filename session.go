@@ -121,6 +121,9 @@ type sessionConfig struct {
 	sink     func(SweepInstance) error
 	observer Observer
 	discard  bool
+	// err records the first invalid option value (e.g. an out-of-range
+	// WithTimeAdvance); check surfaces it before any entry point runs.
+	err error
 	// applied tracks per-call options so entry points can reject one
 	// passed outside its scope instead of silently ignoring it.
 	applied []appliedOption
@@ -178,15 +181,24 @@ func WithAnalytic(o AnalyticOptions) Option {
 }
 
 // WithTimeAdvance selects the simulator's time-advance core: the
-// event-leap macro-step engine (AdvanceLeap, the default) or the
-// reference slot-stepped loop (AdvanceSlot). The two cores produce
-// byte-identical results and traces — AdvanceSlot exists as the
-// differential oracle and for per-slot instrumentation, AdvanceLeap is
-// the fast path whose cost scales with availability transitions and
-// phase events rather than elapsed slots. Campaign entry points take the
-// equivalent knob on the Sweep value (Sweep.Advance).
+// event-leap macro-step engine (AdvanceLeap, the default), the reference
+// slot-stepped loop (AdvanceSlot), or the lockstep structure-of-arrays
+// core (AdvanceBatch). All cores produce byte-identical results and
+// traces — AdvanceSlot exists as the differential oracle and for
+// per-slot instrumentation, AdvanceLeap is the fast path whose cost
+// scales with availability transitions and phase events, and
+// AdvanceBatch shares availability walks and decision builds across the
+// instances of a batch (a single Run is a batch of one; the mode pays
+// off in batched campaigns). Campaign entry points take the equivalent
+// knob on the Sweep value (Sweep.Advance). An out-of-range value is
+// rejected when the option is applied, never silently defaulted.
 func WithTimeAdvance(a TimeAdvance) Option {
-	return scoped("WithTimeAdvance", scopeRun, func(c *sessionConfig) { c.run.Advance = a })
+	return scoped("WithTimeAdvance", scopeRun, func(c *sessionConfig) {
+		if err := a.Validate(); err != nil && c.err == nil {
+			c.err = fmt.Errorf("tightsched: WithTimeAdvance: %w", err)
+		}
+		c.run.Advance = a
+	})
 }
 
 // WithMaxLeap caps one leap macro-step in slots (DefaultMaxLeap when
@@ -294,9 +306,13 @@ func (s *Session) config(opts []Option) sessionConfig {
 	return c
 }
 
-// check rejects per-call options passed outside the entry point's scope:
-// a silently ignored option is a migration bug waiting to be shipped.
+// check rejects per-call options passed outside the entry point's scope
+// — a silently ignored option is a migration bug waiting to be shipped —
+// and surfaces invalid option values recorded at application time.
 func (c *sessionConfig) check(scope optionScope, call string) error {
+	if c.err != nil {
+		return c.err
+	}
 	for _, a := range c.applied {
 		if a.scope&scope == 0 {
 			return fmt.Errorf("tightsched: option %s does not apply to %s", a.name, call)

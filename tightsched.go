@@ -194,6 +194,9 @@ type (
 	// SweepSpec is the JSON-serializable identity of a campaign, as
 	// stamped in journal headers.
 	SweepSpec = exp.SweepSpec
+	// SweepCacheStats summarizes the cross-instance sharing of one batched
+	// sweep cell (PointDone.Cache under Sweep.Advance == AdvanceBatch).
+	SweepCacheStats = exp.CacheStats
 )
 
 // DefaultCap is the paper's makespan failure limit (1,000,000 slots).
@@ -201,10 +204,13 @@ const DefaultCap = sim.DefaultCap
 
 // Time-advance cores (see sim.TimeAdvance): AdvanceLeap is the default
 // event-leap macro-step engine, AdvanceSlot the reference slot-stepped
-// loop; both produce byte-identical results and traces.
+// loop, AdvanceBatch the lockstep structure-of-arrays core that shares
+// availability walks and greedy builds across a campaign cell's
+// instances; all three produce byte-identical results and traces.
 const (
-	AdvanceLeap = sim.AdvanceLeap
-	AdvanceSlot = sim.AdvanceSlot
+	AdvanceLeap  = sim.AdvanceLeap
+	AdvanceSlot  = sim.AdvanceSlot
+	AdvanceBatch = sim.AdvanceBatch
 )
 
 // DefaultMaxLeap is the default cap on one leap macro-step in slots.
