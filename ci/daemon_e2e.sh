@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# daemon-e2e: black-box gate on cmd/tightschedd, holding the daemon to its
+# two headline contracts:
+#
+#   1. Artifact parity — the Table I artifact served by
+#      GET /v1/campaigns/{id}/tables/1 is byte-identical to what
+#      cmd/tables prints for the same campaign spec.
+#   2. Graceful shutdown — SIGTERM mid-campaign exits 0 and leaves a
+#      journal that `tables -resume` completes bit-identically to an
+#      uninterrupted run.
+#
+# Everything (binaries, logs, journals, fetched artifacts) lands in
+# E2E_DIR so CI can upload it as a failure artifact. Needs curl and jq.
+set -euo pipefail
+
+E2E_DIR=${E2E_DIR:-$(mktemp -d)}
+ADDR=${ADDR:-127.0.0.1:8077}
+BASE="http://$ADDR"
+mkdir -p "$E2E_DIR"
+echo "daemon-e2e: working in $E2E_DIR"
+
+DAEMON_PID=""
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+fail() {
+    echo "daemon-e2e: FAIL: $*" >&2
+    echo "--- daemon log tail ---" >&2
+    tail -50 "$E2E_DIR/daemon.log" >&2 || true
+    exit 1
+}
+
+# Poll a campaign until it reaches a terminal state; prints the final state.
+wait_terminal() {
+    local id=$1 deadline=$((SECONDS + 180)) state
+    while :; do
+        state=$(curl -sf "$BASE/v1/campaigns/$id" | jq -r .state)
+        case "$state" in
+        succeeded | failed | cancelled) echo "$state"; return 0 ;;
+        esac
+        [ "$SECONDS" -lt "$deadline" ] || fail "campaign $id still '$state' after 180s"
+        sleep 0.2
+    done
+}
+
+echo "daemon-e2e: building tightschedd and tables"
+go build -o "$E2E_DIR/tightschedd" ./cmd/tightschedd
+go build -o "$E2E_DIR/tables" ./cmd/tables
+
+"$E2E_DIR/tightschedd" -addr "$ADDR" -data "$E2E_DIR/data" -runners 2 \
+    >"$E2E_DIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+    [ "$i" -lt 50 ] || fail "daemon never became healthy on $BASE"
+    sleep 0.2
+done
+echo "daemon-e2e: daemon healthy on $BASE"
+
+# ---- contract 1: artifact parity with cmd/tables --------------------------
+
+cat >"$E2E_DIR/table1.yaml" <<'EOF'
+version: 1
+name: e2e-table1
+sweep:
+  m: 5
+  ncoms: [5, 10, 20]
+  wmins: [1, 2]
+  scenarios: 1
+  trials: 1
+  cap: 50000
+  seed: 20130522
+EOF
+
+ID=$(curl -sf -X POST -H 'Content-Type: application/yaml' \
+    --data-binary @"$E2E_DIR/table1.yaml" "$BASE/v1/campaigns" | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != null ] || fail "submit returned no campaign id"
+echo "daemon-e2e: submitted campaign $ID"
+
+STATE=$(wait_terminal "$ID")
+[ "$STATE" = succeeded ] || fail "campaign $ID ended '$STATE'"
+curl -sf "$BASE/v1/campaigns/$ID" | jq . >"$E2E_DIR/status1.json"
+echo "daemon-e2e: campaign $ID succeeded ($(jq -r .progress.completed "$E2E_DIR/status1.json") instances)"
+
+curl -sf "$BASE/v1/campaigns/$ID/tables/1" >"$E2E_DIR/daemon_table1.txt"
+# cmd/tables with the flag spelling of the same spec; the CLI prefixes the
+# artifact with '#' preamble lines, stripped for the byte-compare.
+"$E2E_DIR/tables" -table 1 -quiet -scenarios 1 -trials 1 -wmins 1,2 -cap 50000 |
+    grep -v '^#' >"$E2E_DIR/cli_table1.txt"
+cmp "$E2E_DIR/daemon_table1.txt" "$E2E_DIR/cli_table1.txt" ||
+    fail "daemon artifact differs from cmd/tables output (see $E2E_DIR/{daemon,cli}_table1.txt)"
+echo "daemon-e2e: Table I artifact is byte-identical to cmd/tables"
+
+# The metrics endpoint reflects the finished campaign.
+curl -sf "$BASE/metrics" >"$E2E_DIR/metrics.txt"
+grep -q 'tightsched_campaigns{state="succeeded"} 1' "$E2E_DIR/metrics.txt" ||
+    fail "metrics do not count the succeeded campaign"
+
+# ---- contract 2: SIGTERM mid-campaign, journal resumes bit-identically ----
+
+cat >"$E2E_DIR/slow.yaml" <<'EOF'
+version: 1
+name: e2e-sigterm
+sweep:
+  m: 5
+  ncoms: [5, 10, 20]
+  wmins: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+  scenarios: 1
+  trials: 1
+  cap: 100000
+  seed: 777
+run:
+  workers: 1
+EOF
+
+ID2=$(curl -sf -X POST -H 'Content-Type: application/yaml' \
+    --data-binary @"$E2E_DIR/slow.yaml" "$BASE/v1/campaigns" | jq -r .id)
+[ -n "$ID2" ] && [ "$ID2" != null ] || fail "second submit returned no campaign id"
+JOURNAL=$(curl -sf "$BASE/v1/campaigns/$ID2" | jq -r .journal)
+[ -n "$JOURNAL" ] && [ "$JOURNAL" != null ] || fail "campaign $ID2 reports no journal"
+
+deadline=$((SECONDS + 60))
+while :; do
+    DONE=$(curl -sf "$BASE/v1/campaigns/$ID2" | jq -r .progress.completed)
+    [ "${DONE:-0}" -ge 5 ] 2>/dev/null && break
+    [ "$SECONDS" -lt "$deadline" ] || fail "campaign $ID2 made no progress"
+    sleep 0.2
+done
+echo "daemon-e2e: campaign $ID2 at $DONE instances — sending SIGTERM"
+
+kill -TERM "$DAEMON_PID"
+RC=0
+wait "$DAEMON_PID" || RC=$?
+DAEMON_PID=""
+[ "$RC" -eq 0 ] || fail "daemon exited $RC on SIGTERM, want 0"
+echo "daemon-e2e: daemon exited 0 on SIGTERM"
+
+[ -s "$JOURNAL" ] || fail "journal $JOURNAL missing or empty after shutdown"
+
+# Resume the interrupted journal through the CLI, and run the identical
+# campaign uninterrupted; the two Table I artifacts must match byte for
+# byte (the resume contract: bit-identical to a run that never stopped).
+"$E2E_DIR/tables" -table 1 -quiet -scenarios 1 -trials 1 -cap 100000 -seed 777 \
+    -resume -journal "$JOURNAL" | grep -v '^#' >"$E2E_DIR/resumed_table1.txt"
+"$E2E_DIR/tables" -table 1 -quiet -scenarios 1 -trials 1 -cap 100000 -seed 777 |
+    grep -v '^#' >"$E2E_DIR/straight_table1.txt"
+cmp "$E2E_DIR/resumed_table1.txt" "$E2E_DIR/straight_table1.txt" ||
+    fail "resumed journal renders a different Table I than an uninterrupted run"
+echo "daemon-e2e: interrupted journal resumed bit-identically"
+
+echo "daemon-e2e: PASS"

@@ -19,11 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
-	"syscall"
 
 	"tightsched"
+	"tightsched/internal/cli"
 	"tightsched/internal/trace"
 )
 
@@ -47,7 +46,7 @@ func main() {
 	)
 	flag.Parse()
 
-	adv, err := parseAdvance(*advance)
+	adv, err := tightsched.ParseTimeAdvance(*advance)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,7 +61,7 @@ func main() {
 	// Ctrl-C cancels the run context; the simulation stops at the next
 	// macro-step boundary instead of grinding on toward a million-slot
 	// cap.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	sc := tightsched.PaperScenario(*m, *ncom, *wmin, *seed)
@@ -129,19 +128,6 @@ func main() {
 		fmt.Print(trace.Legend())
 		fmt.Println()
 		fmt.Print(rec.Render())
-	}
-}
-
-func parseAdvance(s string) (tightsched.TimeAdvance, error) {
-	switch s {
-	case "leap":
-		return tightsched.AdvanceLeap, nil
-	case "slot":
-		return tightsched.AdvanceSlot, nil
-	case "batch":
-		return tightsched.AdvanceBatch, nil
-	default:
-		return 0, fmt.Errorf("unknown -advance %q (want leap, slot or batch)", s)
 	}
 }
 

@@ -29,9 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
+	"tightsched/internal/cli"
 	"tightsched/internal/exp"
 	"tightsched/internal/offline"
 	"tightsched/internal/rng"
@@ -76,7 +75,7 @@ func main() {
 	ctx := context.Background()
 	if *mode == "greedy" || *mode == "reduce" {
 		var stop context.CancelFunc
-		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		ctx, stop = cli.SignalContext(ctx)
 		defer stop()
 	}
 
@@ -224,7 +223,7 @@ func interruptExit(tj *trialJournal, journal string) {
 	} else {
 		fmt.Fprintln(os.Stderr, "offline: interrupted — no journal was attached; pass -journal to make batches resumable")
 	}
-	os.Exit(130)
+	os.Exit(cli.ExitInterrupted)
 }
 
 func shardNote(sh exp.Shard) string {

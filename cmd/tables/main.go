@@ -47,13 +47,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"tightsched"
+	"tightsched/internal/cli"
 )
 
 func main() {
@@ -105,7 +104,7 @@ func main() {
 	// cancels it, and every layer below — the campaign worker pool at
 	// instance boundaries, each simulation at macro-step boundaries —
 	// honors the cancellation promptly.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	m := 5
@@ -137,17 +136,12 @@ func main() {
 	if *seed != 0 {
 		sweep.Seed = *seed
 	}
-	switch *advance {
-	case "leap":
-		sweep.Advance = tightsched.AdvanceLeap
-	case "slot":
-		sweep.Advance = tightsched.AdvanceSlot
-	case "batch":
-		sweep.Advance = tightsched.AdvanceBatch
-	default:
-		fmt.Fprintln(os.Stderr, "tables: -advance must be leap, slot or batch")
+	adv, err := tightsched.ParseTimeAdvance(*advance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(2)
 	}
+	sweep.Advance = adv
 	if *wmins != "" {
 		var ws []int
 		for _, part := range strings.Split(*wmins, ",") {
@@ -284,7 +278,7 @@ func main() {
 				} else {
 					fmt.Fprintln(os.Stderr, "tables: interrupted — no journal was attached; pass -journal to make long runs resumable")
 				}
-				os.Exit(130)
+				os.Exit(cli.ExitInterrupted)
 			}
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
@@ -302,22 +296,17 @@ func main() {
 		}
 	}
 
-	if *table == 1 {
-		fmt.Printf("\nTable I — results with m = 5 tasks (reference: IE)\n\n")
-		printTable(res)
-	}
-	if *table == 2 {
-		fmt.Printf("\nTable II — results with m = 10 tasks (reference: IE)\n\n")
-		printTable(res)
-	}
-	if *table == 3 {
-		fmt.Printf("\nTable III — results with m = 5 tasks per availability model (reference: IE)\n\n")
-		tables, err := res.TableIII(tightsched.ReferenceHeuristic)
+	if *table != 0 {
+		// The artifact bytes are rendered by the same function the service
+		// daemon serves from GET /v1/campaigns/{id}/tables/{n}, so the two
+		// agree byte for byte on identical campaigns (the daemon-e2e CI job
+		// diffs them).
+		artifact, err := tightsched.RenderTableArtifact(res, *table)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
-		fmt.Print(tightsched.FormatTableIII(tables))
+		fmt.Print(artifact)
 	}
 	if *figure == 2 {
 		fmt.Printf("\nFigure 2 — relative distance to IE vs wmin (m = 10)\n\n")
@@ -381,18 +370,4 @@ func modelNames(sweep tightsched.Sweep) []string {
 		names[i] = m.Name()
 	}
 	return names
-}
-
-func printTable(res *tightsched.SweepResult) {
-	rows, err := res.Table(tightsched.ReferenceHeuristic)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tables:", err)
-		os.Exit(1)
-	}
-	fmt.Print(tightsched.FormatTable(rows))
-	if counter := res.RefFailureDominance(tightsched.ReferenceHeuristic); counter == 0 {
-		fmt.Println("\nrobustness: whenever IE fails, every other heuristic fails too (as in the paper)")
-	} else {
-		fmt.Printf("\nrobustness: %d instances where IE failed but another heuristic succeeded\n", counter)
-	}
 }

@@ -1,0 +1,31 @@
+// Package cli holds the few pieces every tightsched command shares: the
+// signal-cancelled root context and the conventional exit codes. Keeping
+// them in one place makes the exit discipline uniform across cmd/tables,
+// cmd/offline, cmd/gridsim and the tightschedd service daemon — a
+// SIGINT/SIGTERM anywhere cancels the root context, every layer below
+// (campaign worker pools at instance boundaries, simulations at
+// macro-step boundaries) winds down promptly, journals are flushed and
+// closed before the process exits, and interactive interrupts report the
+// conventional 128+SIGINT status.
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitInterrupted is the conventional exit status of a command stopped by
+// SIGINT/SIGTERM mid-work (128 + SIGINT). Daemons exit 0 on a clean
+// signal-triggered shutdown instead: being told to stop is their normal
+// end of life, not an interruption.
+const ExitInterrupted = 130
+
+// SignalContext derives a command's root context from parent: the first
+// SIGINT or SIGTERM cancels it (and the returned stop func restores
+// default signal behavior, so a second signal kills a wedged process the
+// hard way).
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

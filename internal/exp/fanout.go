@@ -1,0 +1,138 @@
+package exp
+
+import "sync"
+
+// This file is the campaign-event fan-out: one running campaign, many
+// concurrent consumers. The serve layer hangs every SSE connection of a
+// campaign off one Broadcaster; the campaign's single-goroutine Observer
+// publishes into it and each subscriber reads its own buffered channel.
+
+// DefaultSubscriberBuffer is the per-subscriber event buffer when
+// NewBroadcaster is given no explicit size. Campaign events are small and
+// bursty (one InstanceDone + Progress pair per completed instance), so a
+// few hundred events of slack absorbs normal consumer jitter.
+const DefaultSubscriberBuffer = 256
+
+// Broadcaster fans a campaign's typed event stream out to any number of
+// concurrent subscribers. It implements Observer, so it plugs straight
+// into the RunSweep/ResumeSweep observer option; Publish can also be fed
+// by hand from a Stream consumer.
+//
+// Delivery never blocks the campaign: each subscriber owns a buffered
+// channel, and one whose buffer is full (a stalled SSE connection, say)
+// is dropped — its channel closes and Lagged reports true — instead of
+// backpressuring the worker pool. Events are progress telemetry, not the
+// system of record (the journal is); a dropped consumer re-syncs from
+// campaign status and, if it needs every instance, from the journal.
+type Broadcaster struct {
+	mu     sync.Mutex
+	subs   map[*Subscription]struct{}
+	buffer int
+	closed bool
+}
+
+// Subscription is one consumer's view of a Broadcaster: a receive
+// channel that closes when the broadcaster closes, the subscriber
+// cancels, or the subscriber lags behind.
+type Subscription struct {
+	b      *Broadcaster
+	ch     chan Event
+	done   bool // channel closed (guarded by b.mu)
+	lagged bool // closed because the buffer overflowed (guarded by b.mu)
+}
+
+// NewBroadcaster returns a fan-out with the given per-subscriber buffer
+// (DefaultSubscriberBuffer when n <= 0).
+func NewBroadcaster(n int) *Broadcaster {
+	if n <= 0 {
+		n = DefaultSubscriberBuffer
+	}
+	return &Broadcaster{subs: map[*Subscription]struct{}{}, buffer: n}
+}
+
+// Subscribe attaches a new consumer. Subscribing to a closed broadcaster
+// is not an error: the subscription's channel is already closed, so a
+// consumer attaching to a finished campaign terminates immediately after
+// rendering its snapshot.
+func (b *Broadcaster) Subscribe() *Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &Subscription{b: b, ch: make(chan Event, b.buffer)}
+	if b.closed {
+		close(s.ch)
+		s.done = true
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Events returns the subscription's receive channel. It closes when the
+// broadcaster closes (campaign over), Cancel is called, or the
+// subscriber lagged.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Lagged reports whether the subscription was dropped because its buffer
+// overflowed (meaningful once Events is closed).
+func (s *Subscription) Lagged() bool {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.lagged
+}
+
+// Cancel detaches the subscriber and closes its channel. Safe to call
+// more than once, and after the broadcaster has closed.
+func (s *Subscription) Cancel() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	delete(s.b.subs, s)
+	if !s.done {
+		close(s.ch)
+		s.done = true
+	}
+}
+
+// Publish delivers the event to every live subscriber without blocking:
+// a subscriber with no buffer space left is dropped (channel closed,
+// Lagged true). Publishing after Close is a no-op.
+func (b *Broadcaster) Publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			delete(b.subs, s)
+			close(s.ch)
+			s.done = true
+			s.lagged = true
+		}
+	}
+}
+
+// Close ends the stream: every live subscriber's channel closes after
+// the events already buffered, and future Subscribe calls return
+// already-closed subscriptions. Idempotent.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		delete(b.subs, s)
+		close(s.ch)
+		s.done = true
+	}
+}
+
+// Observer plumbing: a Broadcaster slots directly into the campaign
+// observer option.
+
+func (b *Broadcaster) OnInstanceDone(ev InstanceDone) { b.Publish(ev) }
+func (b *Broadcaster) OnPointDone(ev PointDone)       { b.Publish(ev) }
+func (b *Broadcaster) OnProgress(ev Progress)         { b.Publish(ev) }

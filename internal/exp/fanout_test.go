@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBroadcasterFanOut: every subscriber sees every published event in
+// order, and Close ends all streams after the buffered tail.
+func TestBroadcasterFanOut(t *testing.T) {
+	b := NewBroadcaster(8)
+	subA, subB := b.Subscribe(), b.Subscribe()
+
+	events := []Event{
+		Progress{Completed: 1, Total: 3},
+		InstanceDone{Completed: 1, Total: 3},
+		PointDone{Model: "markov", CompletedPoints: 1, TotalPoints: 1},
+	}
+	for _, ev := range events {
+		b.Publish(ev)
+	}
+	b.Close()
+
+	for name, sub := range map[string]*Subscription{"A": subA, "B": subB} {
+		var got []Event
+		for ev := range sub.Events() {
+			got = append(got, ev)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("subscriber %s received %d events, want %d", name, len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Errorf("subscriber %s event %d = %#v, want %#v", name, i, got[i], events[i])
+			}
+		}
+		if sub.Lagged() {
+			t.Errorf("subscriber %s marked lagged", name)
+		}
+	}
+}
+
+// TestBroadcasterDropsLaggedSubscriber: a consumer that stops reading is
+// cut loose — its channel closes with Lagged true — while healthy
+// subscribers keep receiving and the publisher never blocks.
+func TestBroadcasterDropsLaggedSubscriber(t *testing.T) {
+	const buffer = 2
+	b := NewBroadcaster(buffer)
+	stalled := b.Subscribe()
+	healthy := b.Subscribe()
+
+	// The healthy reader acknowledges each event, so the publisher can
+	// pace itself: healthy never falls behind, stalled never reads.
+	acks := make(chan Event)
+	go func() {
+		for ev := range healthy.Events() {
+			acks <- ev
+		}
+		close(acks)
+	}()
+
+	const published = 50
+	for i := 0; i < published; i++ {
+		b.Publish(Progress{Completed: i, Total: published})
+		if ev := <-acks; ev != (Progress{Completed: i, Total: published}) {
+			t.Fatalf("healthy subscriber saw %#v at publish %d", ev, i)
+		}
+	}
+	b.Close()
+	if _, ok := <-acks; ok {
+		t.Error("healthy stream should close with the broadcaster")
+	}
+
+	if !stalled.Lagged() {
+		t.Error("stalled subscriber not marked lagged")
+	}
+	if healthy.Lagged() {
+		t.Error("healthy subscriber must not be marked lagged")
+	}
+	n := 0
+	for range stalled.Events() {
+		n++
+	}
+	if n != buffer {
+		t.Errorf("stalled subscriber drained %d buffered events, want its buffer size %d", n, buffer)
+	}
+}
+
+// TestBroadcasterLifecycleEdges: subscribing after Close yields an
+// already-closed stream; Cancel and Close are idempotent and safe in any
+// order; publishing after Close is a no-op.
+func TestBroadcasterLifecycleEdges(t *testing.T) {
+	b := NewBroadcaster(0)
+	sub := b.Subscribe()
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	b.Close()
+	b.Close() // idempotent
+	sub.Cancel()
+	b.Publish(Progress{}) // no-op, must not panic
+
+	late := b.Subscribe()
+	if _, ok := <-late.Events(); ok {
+		t.Error("subscription made after Close should start closed")
+	}
+	if late.Lagged() {
+		t.Error("late subscriber is closed, not lagged")
+	}
+}
+
+// TestBroadcasterConcurrentPublishSubscribe is the -race exercise:
+// subscribers attach, read and cancel while the publisher runs.
+func TestBroadcasterConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBroadcaster(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := b.Subscribe()
+			n := 0
+			for range sub.Events() {
+				if n++; i%2 == 0 && n == 5 {
+					sub.Cancel()
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 200; i++ {
+		b.Publish(Progress{Completed: i, Total: 200})
+	}
+	b.Close()
+	wg.Wait()
+}

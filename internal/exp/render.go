@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders campaign results into the paper's table artifacts as
+// self-contained byte strings. cmd/tables prints these strings and the
+// service daemon serves them over HTTP, so "the daemon's Table I matches
+// the CLI's" is true by construction, not by parallel formatting code —
+// the daemon-e2e CI job diffs the two byte for byte.
+
+// ArtifactM returns the task count the numbered table artifact requires
+// (Tables I and III aggregate the m = 5 campaign, Table II the m = 10
+// one), or an error for an unknown table number.
+func ArtifactM(table int) (int, error) {
+	switch table {
+	case 1, 3:
+		return 5, nil
+	case 2:
+		return 10, nil
+	default:
+		return 0, fmt.Errorf("exp: no Table %d in the paper (choose 1, 2 or 3)", table)
+	}
+}
+
+// RenderTableArtifact renders the numbered table artifact (1, 2 or the
+// cross-model 3) of a completed campaign, exactly as cmd/tables prints it
+// after its "# ..." preamble: the title line, the aggregated rows, and —
+// for Tables I/II — the robustness observation. It errors when the
+// campaign's m does not match the requested table or when the reference
+// heuristic is absent from the results.
+func RenderTableArtifact(r *Result, table int) (string, error) {
+	m, err := ArtifactM(table)
+	if err != nil {
+		return "", err
+	}
+	if r.Sweep.M != m {
+		return "", fmt.Errorf("exp: Table %d aggregates an m=%d campaign, results are m=%d", table, m, r.Sweep.M)
+	}
+	var b strings.Builder
+	switch table {
+	case 1, 2:
+		numeral := "I"
+		if table == 2 {
+			numeral = "II"
+		}
+		fmt.Fprintf(&b, "\nTable %s — results with m = %d tasks (reference: %s)\n\n", numeral, m, ReferenceHeuristic)
+		rows, err := r.Table(ReferenceHeuristic)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(FormatTable(rows))
+		if counter := r.RefFailureDominance(ReferenceHeuristic); counter == 0 {
+			fmt.Fprintf(&b, "\nrobustness: whenever %s fails, every other heuristic fails too (as in the paper)\n", ReferenceHeuristic)
+		} else {
+			fmt.Fprintf(&b, "\nrobustness: %d instances where %s failed but another heuristic succeeded\n", counter, ReferenceHeuristic)
+		}
+	case 3:
+		fmt.Fprintf(&b, "\nTable III — results with m = %d tasks per availability model (reference: %s)\n\n", m, ReferenceHeuristic)
+		tables, err := r.TableIII(ReferenceHeuristic)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(FormatTableIII(tables))
+	}
+	return b.String(), nil
+}

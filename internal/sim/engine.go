@@ -71,6 +71,23 @@ func (a TimeAdvance) String() string {
 	}
 }
 
+// ParseTimeAdvance maps the option-flag spelling ("leap", "slot",
+// "batch") back onto a TimeAdvance — the inverse of String, shared by the
+// command-line tools and the service daemon's campaign specs so every
+// front door accepts exactly the same mode names.
+func ParseTimeAdvance(name string) (TimeAdvance, error) {
+	switch name {
+	case "leap":
+		return AdvanceLeap, nil
+	case "slot":
+		return AdvanceSlot, nil
+	case "batch":
+		return AdvanceBatch, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown time advance %q (choose leap, slot or batch)", name)
+	}
+}
+
 // Validate rejects values outside the defined advance modes. It is the
 // single validation point shared by the engine, the sweep harness and
 // the session options, so an out-of-range mode fails loudly at

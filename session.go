@@ -9,6 +9,7 @@ import (
 	"tightsched/internal/core"
 	"tightsched/internal/exp"
 	"tightsched/internal/sched"
+	"tightsched/internal/sim"
 )
 
 // This file is the context-aware Session API, the package's primary
@@ -274,6 +275,80 @@ func WithSink(f func(SweepInstance) error) Option {
 func WithDiscardInstances() Option {
 	return scoped("WithDiscardInstances", scopeConsume, func(c *sessionConfig) { c.discard = true })
 }
+
+// ParseTimeAdvance maps the flag/spec spelling of a time-advance core
+// ("leap", "slot", "batch") onto its TimeAdvance value — the single
+// parser behind the -advance flags of cmd/tables and cmd/gridsim and the
+// run.advance field of the service daemon's campaign specs, so every
+// front door accepts exactly the same names.
+func ParseTimeAdvance(name string) (TimeAdvance, error) {
+	return sim.ParseTimeAdvance(name)
+}
+
+// SweepRuntime carries the runtime knobs a SweepSpec deliberately omits
+// because they change speed, never results: the time-advance core, the
+// macro-step bound, and the per-campaign worker count. The zero value is
+// the default configuration (event-leap core, DefaultMaxLeap, NumCPU
+// workers).
+type SweepRuntime struct {
+	// Advance selects the time-advance core (AdvanceLeap when zero).
+	Advance TimeAdvance
+	// MaxLeap caps one leap macro-step in slots (DefaultMaxLeap when 0),
+	// bounding a run's worst-case cancellation latency.
+	MaxLeap int64
+	// Workers bounds the campaign's parallel simulations (NumCPU when 0).
+	Workers int
+}
+
+// SweepFromSpec is the declarative bridge into the Session campaign
+// family: it reconstructs a runnable Sweep from its serialized identity —
+// the same SweepSpec contract stamped in journal headers and submitted to
+// the service daemon — and applies the runtime knobs the spec omits,
+// with the same validation rules as the functional options (an
+// out-of-range Advance or negative MaxLeap is an error, never a silent
+// default; models resolve by name through the open registry). The
+// returned Sweep is validated and ready for Session.RunSweep or
+// Session.Stream.
+func SweepFromSpec(spec SweepSpec, rt SweepRuntime) (Sweep, error) {
+	sweep, err := spec.Sweep()
+	if err != nil {
+		return Sweep{}, err
+	}
+	if err := rt.Advance.Validate(); err != nil {
+		return Sweep{}, fmt.Errorf("tightsched: SweepFromSpec: %w", err)
+	}
+	if rt.MaxLeap < 0 {
+		return Sweep{}, fmt.Errorf("tightsched: SweepFromSpec: negative max leap %d", rt.MaxLeap)
+	}
+	if rt.Workers < 0 {
+		return Sweep{}, fmt.Errorf("tightsched: SweepFromSpec: negative workers %d", rt.Workers)
+	}
+	sweep.Advance = rt.Advance
+	sweep.MaxLeap = rt.MaxLeap
+	sweep.Workers = rt.Workers
+	if err := sweep.Validate(); err != nil {
+		return Sweep{}, err
+	}
+	return sweep, nil
+}
+
+// Event fan-out: one running campaign, many concurrent consumers (the
+// service daemon's SSE connections hang off one broadcaster per
+// campaign).
+type (
+	// SweepBroadcaster fans a campaign's event stream out to any number
+	// of subscribers; it implements Observer, so it plugs into
+	// WithObserver directly. Slow subscribers are dropped, never allowed
+	// to backpressure the campaign — see exp.Broadcaster.
+	SweepBroadcaster = exp.Broadcaster
+	// SweepSubscription is one consumer's channel-backed view of a
+	// SweepBroadcaster.
+	SweepSubscription = exp.Subscription
+)
+
+// NewSweepBroadcaster returns a campaign-event fan-out with the given
+// per-subscriber buffer (a sensible default when n <= 0).
+func NewSweepBroadcaster(n int) *SweepBroadcaster { return exp.NewBroadcaster(n) }
 
 // Session is the context-aware entry point to the library: simulation,
 // comparison, estimation and campaign execution, configured by functional

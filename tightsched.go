@@ -324,6 +324,15 @@ type (
 // FormatTable renders aggregated rows in the paper's table layout.
 func FormatTable(rows []TableRow) string { return exp.FormatTable(rows) }
 
+// RenderTableArtifact renders a completed campaign as the numbered table
+// artifact (1, 2 or the cross-model 3): title line, aggregated rows, and
+// (for Tables I/II) the robustness observation — exactly the bytes
+// cmd/tables prints after its "# ..." preamble and the service daemon
+// serves from GET /v1/campaigns/{id}/tables/{n}.
+func RenderTableArtifact(res *SweepResult, table int) (string, error) {
+	return exp.RenderTableArtifact(res, table)
+}
+
 // FormatTableIII renders the per-model tables of SweepResult.TableIII.
 func FormatTableIII(tables []SweepModelTable) string { return exp.FormatTableIII(tables) }
 
