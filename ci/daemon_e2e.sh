@@ -101,6 +101,19 @@ echo "daemon-e2e: Table I artifact is byte-identical to cmd/tables"
 curl -sf "$BASE/metrics" >"$E2E_DIR/metrics.txt"
 grep -q 'tightsched_campaigns{state="succeeded"} 1' "$E2E_DIR/metrics.txt" ||
     fail "metrics do not count the succeeded campaign"
+# The cluster lease families are always exported (all-zero here: this
+# campaign ran in-process). ci/cluster_chaos.sh asserts their values.
+for sample in \
+    'tightsched_cluster_units{state="available"} 0' \
+    'tightsched_cluster_units{state="leased"} 0' \
+    'tightsched_cluster_units{state="done"} 0' \
+    'tightsched_cluster_workers 0' \
+    'tightsched_cluster_leases_total{event="granted"} 0' \
+    'tightsched_cluster_heartbeats_total 0' \
+    'tightsched_cluster_uploads_total{outcome="accepted"} 0'; do
+    grep -qF "$sample" "$E2E_DIR/metrics.txt" ||
+        fail "metrics missing cluster sample: $sample"
+done
 
 # ---- contract 2: SIGTERM mid-campaign, journal resumes bit-identically ----
 

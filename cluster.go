@@ -1,0 +1,33 @@
+package tightsched
+
+import (
+	"context"
+
+	"tightsched/internal/cluster"
+	"tightsched/internal/retry"
+)
+
+// Elastic cluster execution (see internal/cluster): a tightschedd
+// coordinator decomposes a campaign into leased work units, and any
+// number of worker processes — started with cmd/tightschedw or
+// RunClusterWorker — claim, simulate and stream them back. Workers may
+// crash, stall or resurrect at any time; the journal's coordinate-keyed
+// dedup keeps the merged result byte-identical to a sequential run.
+
+type (
+	// ClusterWorkerOptions configures one worker process's
+	// claim/run/upload loop against a tightschedd coordinator.
+	ClusterWorkerOptions = cluster.WorkerConfig
+	// RetryPolicy shapes the jittered exponential backoff workers use
+	// while the coordinator is unreachable.
+	RetryPolicy = retry.Policy
+	// ClusterStats is a coordinator's lease-lifecycle snapshot, as
+	// reported in campaign statuses and /metrics.
+	ClusterStats = cluster.Stats
+)
+
+// RunClusterWorker runs a cluster worker until ctx is cancelled (or,
+// with ExitAfterIdle set, until it has found no work for that long).
+func RunClusterWorker(ctx context.Context, opts ClusterWorkerOptions) error {
+	return cluster.RunWorker(ctx, opts)
+}

@@ -56,9 +56,19 @@ func main() {
 		DataDir: *data,
 		Runners: *runners,
 		Workers: *workers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tightschedd: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fatal(err)
+	}
+	// Cluster campaigns that were mid-flight when the daemon last
+	// stopped resume from their lease logs before traffic arrives.
+	if resumed, err := srv.RecoverClusters(); err != nil {
+		fatal(err)
+	} else if len(resumed) > 0 {
+		fmt.Fprintf(os.Stderr, "tightschedd: resumed %d cluster campaign(s)\n", len(resumed))
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -1,0 +1,70 @@
+// Command tightschedw is the cluster worker: it claims leased work
+// units from a tightschedd coordinator, simulates them with the local
+// engine, and streams completed instances back in batches.
+//
+// Usage:
+//
+//	tightschedw -coordinator http://host:8080 [-name NAME] [-parallel N]
+//	            [-batch 64] [-poll 500ms] [-exit-idle 0]
+//
+// The worker is crash-tolerant by construction: it heartbeats its lease
+// (a third of the TTL), retries claims, heartbeats and uploads with
+// jittered exponential backoff while the coordinator is unreachable,
+// and abandons a unit the moment the coordinator declares its lease
+// gone — the unit is requeued to the fleet and every uploaded instance
+// is already durable. kill -9 a worker at any point and the campaign
+// still completes byte-identically.
+//
+// With -exit-idle set, the worker exits 0 after finding no work for
+// that long — how scripted fleets drain when the campaign ends. Without
+// it, the worker polls until SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tightsched"
+	"tightsched/internal/cli"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "http://127.0.0.1:8080", "tightschedd base URL")
+		name        = flag.String("name", "", "worker name for lease bookkeeping (default host:pid)")
+		parallel    = flag.Int("parallel", 0, "parallel simulations per leased unit (0 = GOMAXPROCS)")
+		batch       = flag.Int("batch", 64, "completed instances per result upload")
+		poll        = flag.Duration("poll", 500*time.Millisecond, "pause between claims when no unit is available")
+		exitIdle    = flag.Duration("exit-idle", 0, "exit 0 after this long with no work (0 = poll forever)")
+		quiet       = flag.Bool("q", false, "suppress per-lease log lines")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tightschedw: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+
+	err := tightsched.RunClusterWorker(ctx, tightsched.ClusterWorkerOptions{
+		Coordinator:   *coordinator,
+		Name:          *name,
+		Parallelism:   *parallel,
+		UploadBatch:   *batch,
+		IdlePoll:      *poll,
+		ExitAfterIdle: *exitIdle,
+		Logf:          logf,
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "tightschedw:", err)
+		os.Exit(1)
+	}
+}

@@ -183,9 +183,15 @@ func CreateJournal(path string, sweep Sweep, shard Shard) (*Journal, error) {
 	return &Journal{w: w, path: path, header: header, done: map[Key]InstanceResult{}}, nil
 }
 
-// readJournal parses a journal file without modifying it. A corrupt line
-// before the (tolerated, crash-torn) tail is an error — the journal is
-// append-only, so damage there means the file was tampered with.
+// readJournal parses a journal file without modifying it. A torn tail —
+// the damage a crash can leave — is tolerated whatever its shape: a
+// final line missing its newline (a cut-short write, dropped by
+// ReadJSONL) or a final line that is newline-terminated but fails to
+// parse (a zero-filled or garbled block from filesystem crash recovery).
+// Either way the intact prefix ends before it, and validLen reports
+// where, so an appender can truncate the tear away. A corrupt line
+// before the tail is still an error — the journal is append-only, so
+// damage there means the file was tampered with.
 func readJournal(path string) (journalHeader, map[Key]InstanceResult, int64, error) {
 	headerLine, records, validLen, err := ReadJSONL(path)
 	if err != nil {
@@ -203,6 +209,14 @@ func readJournal(path string) (journalHeader, map[Key]InstanceResult, int64, err
 	for i, line := range records {
 		var e journalEntry
 		if err := json.Unmarshal(line, &e); err != nil {
+			if i == len(records)-1 {
+				// Torn tail: exclude the line (and its newline) from the
+				// intact prefix. The instance it would have recorded is
+				// simply re-run on resume, or covered by an overlapping
+				// journal on merge.
+				validLen -= int64(len(line)) + 1
+				break
+			}
 			return journalHeader{}, nil, 0, fmt.Errorf("exp: journal %s line %d: %w", path, i+2, err)
 		}
 		inst := e.instance()

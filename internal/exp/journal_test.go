@@ -202,6 +202,119 @@ func TestJournalCorruptMiddleRejected(t *testing.T) {
 	}
 }
 
+// TestMergeJournalsTolerateTornTail: a torn tail — however the crash
+// left it — is forgiven in *any* input journal, not just the one being
+// resumed. A shard journal torn mid-record merges cleanly as long as an
+// overlapping journal (a requeued cluster lease, a re-run shard) covers
+// the lost instance; the same tear is also resumable in place.
+func TestMergeJournalsTolerateTornTail(t *testing.T) {
+	s := tinySweep([]string{"IE", "RANDOM"})
+
+	ref, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runShard := func(dir string, name string, sh Shard) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		j, err := CreateJournal(path, s, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunWith(s, RunOptions{Journal: j, Shard: sh}); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		return path
+	}
+
+	tear := map[string]func(t *testing.T, path string){
+		// A write cut short: the final record loses its newline.
+		"cut": func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		// Filesystem crash recovery zero-fills the tail of the last
+		// block: the final line keeps its newline but parses as garbage.
+		"zero-filled": func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := strings.LastIndexByte(strings.TrimSuffix(string(data), "\n"), '\n') + 1
+			torn := append([]byte(nil), data[:cut]...)
+			for i := cut; i < len(data)-1; i++ {
+				torn = append(torn, 0)
+			}
+			torn = append(torn, '\n')
+			if err := os.WriteFile(path, torn, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+
+	for name, damage := range tear {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			a := runShard(dir, "a.journal", Shard{Index: 0, Count: 2})
+			b := runShard(dir, "b.journal", Shard{Index: 1, Count: 2})
+			// The overlapping journal a requeued lease would leave: the
+			// same shard, run to completion elsewhere.
+			b2 := runShard(dir, "b2.journal", Shard{Index: 1, Count: 2})
+			damage(t, b)
+
+			// The torn journal must load short, not fail.
+			partial, _, err := LoadJournal(b)
+			if err != nil {
+				t.Fatalf("torn shard journal failed to load: %v", err)
+			}
+			full, _, err := LoadJournal(b2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(partial.Instances) != len(full.Instances)-1 {
+				t.Fatalf("torn journal holds %d instances, want %d (one lost to the tear)",
+					len(partial.Instances), len(full.Instances)-1)
+			}
+
+			// Merging with the overlap yields the complete campaign.
+			merged, err := MergeJournals(a, b, b2)
+			if err != nil {
+				t.Fatalf("MergeJournals with a torn input: %v", err)
+			}
+			if len(merged.Instances) != len(ref.Instances) {
+				t.Fatalf("merged %d instances, want %d", len(merged.Instances), len(ref.Instances))
+			}
+			for i := range merged.Instances {
+				if merged.Instances[i] != ref.Instances[i] {
+					t.Fatalf("instance %d differs after torn-tail merge", i)
+				}
+			}
+
+			// The same tear is resumable in place: the lost instance is
+			// re-run, bit-identically.
+			res, err := Resume(b, nil)
+			if err != nil {
+				t.Fatalf("resume of torn shard: %v", err)
+			}
+			if len(res.Instances) != len(full.Instances) {
+				t.Fatalf("resumed shard has %d instances, want %d", len(res.Instances), len(full.Instances))
+			}
+			for i := range res.Instances {
+				if res.Instances[i] != full.Instances[i] {
+					t.Fatalf("instance %d differs after torn-tail resume", i)
+				}
+			}
+		})
+	}
+}
+
 // TestCreateJournalRefusesExisting: resuming goes through OpenJournal;
 // CreateJournal never clobbers history.
 func TestCreateJournalRefusesExisting(t *testing.T) {

@@ -1,0 +1,157 @@
+// Package retry is jittered exponential backoff with context
+// cancellation: the client-side half of the cluster's robustness story.
+// Worker heartbeats and result uploads retry through it while the
+// coordinator is unreachable (restarting, partitioned), so a coordinator
+// outage costs reconnection time, never work. The jitter decorrelates a
+// fleet of workers that all lost the coordinator at the same instant —
+// without it they would reconnect in lockstep and hammer the recovering
+// process.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy shapes a backoff schedule. The zero value is usable and means
+// the defaults noted on each field.
+type Policy struct {
+	// Initial is the delay before the first retry (default 100ms).
+	Initial time.Duration
+	// Max caps the delay between attempts (default 5s).
+	Max time.Duration
+	// Multiplier grows the delay each attempt (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized away, in [0, 1]:
+	// a delay d becomes d - U[0, Jitter·d] (default 0.25). Subtracting
+	// (rather than adding) keeps Max a hard bound.
+	Jitter float64
+	// MaxAttempts bounds the number of operation attempts (0: retry
+	// until the context is cancelled or the operation stops the loop).
+	MaxAttempts int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.25
+	}
+	return p
+}
+
+// Delay returns the backoff before retry number attempt (0-based: the
+// delay after the first failure is Delay(0)). rnd supplies the jitter
+// draw in [0, 1); pass nil for the shared math/rand source.
+func (p Policy) Delay(attempt int, rnd func() float64) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		if rnd == nil {
+			rnd = rand.Float64
+		}
+		d -= rnd() * p.Jitter * d
+	}
+	return time.Duration(d)
+}
+
+// stop wraps an error the operation wants surfaced without further
+// retries.
+type stop struct{ err error }
+
+func (s stop) Error() string { return s.err.Error() }
+func (s stop) Unwrap() error { return s.err }
+
+// Stop marks err permanent: Do returns it (unwrapped) immediately
+// instead of retrying. A nil err stops with success.
+func Stop(err error) error {
+	if err == nil {
+		return stop{err: errDone}
+	}
+	return stop{err: err}
+}
+
+var errDone = errors.New("retry: stopped")
+
+// Do runs op until it succeeds, returns a Stop-wrapped error, exhausts
+// MaxAttempts, or ctx is cancelled — whichever comes first — sleeping
+// the policy's jittered backoff between attempts. The returned error is
+// nil on success, the last operation error when attempts ran out, and
+// ctx's error joined with the last operation error on cancellation (so
+// the caller sees both why it stopped and what kept failing).
+func Do(ctx context.Context, p Policy, op func(context.Context) error) error {
+	return DoWithSleep(ctx, p, nil, op)
+}
+
+// DoWithSleep is Do with an injectable sleeper, the unit-test seam: a
+// fake clock observes the exact delays without waiting them out. sleep
+// must return ctx's error if cancelled mid-wait; nil selects the real
+// timer-based sleep.
+func DoWithSleep(ctx context.Context, p Policy, sleep func(context.Context, time.Duration) error, op func(context.Context) error) error {
+	if sleep == nil {
+		sleep = realSleep
+	}
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return joinCtx(err, lastErr)
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var st stop
+		if errors.As(err, &st) {
+			if errors.Is(st.err, errDone) {
+				return nil
+			}
+			return st.err
+		}
+		lastErr = err
+		if p.MaxAttempts > 0 && attempt+1 >= p.MaxAttempts {
+			return lastErr
+		}
+		if err := sleep(ctx, p.Delay(attempt, nil)); err != nil {
+			return joinCtx(err, lastErr)
+		}
+	}
+}
+
+// joinCtx pairs a cancellation with the failure it interrupted; a bare
+// cancellation (no attempt had failed yet) stays bare.
+func joinCtx(ctxErr, lastErr error) error {
+	if lastErr == nil {
+		return ctxErr
+	}
+	return errors.Join(ctxErr, lastErr)
+}
+
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,184 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock records requested sleeps and returns instantly.
+type fakeClock struct {
+	slept []time.Duration
+}
+
+func (f *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.slept = append(f.slept, d)
+	return nil
+}
+
+func TestDelayGrowsExponentiallyToCap(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: 1 * time.Second, Multiplier: 2, Jitter: 0}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second,
+		1 * time.Second, // stays capped
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDelayJitterSubtractsWithinBound(t *testing.T) {
+	p := Policy{Initial: 1 * time.Second, Max: time.Minute, Multiplier: 2, Jitter: 0.5}
+	// rnd = 1.0 (almost) takes the full jitter away; rnd = 0 takes none.
+	if got := p.Delay(0, func() float64 { return 0 }); got != time.Second {
+		t.Errorf("no-jitter draw: got %v, want 1s", got)
+	}
+	got := p.Delay(0, func() float64 { return 0.999 })
+	if got <= 500*time.Millisecond || got >= time.Second {
+		t.Errorf("full-jitter draw: got %v, want in (500ms, 1s)", got)
+	}
+	// Max stays a hard bound under jitter for every draw.
+	for _, r := range []float64{0, 0.3, 0.99} {
+		r := r
+		if got := p.Delay(20, func() float64 { return r }); got > time.Minute {
+			t.Errorf("jittered delay %v exceeds Max", got)
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	clock := &fakeClock{}
+	calls := 0
+	err := DoWithSleep(context.Background(), Policy{Initial: 10 * time.Millisecond, Jitter: 0}, clock.sleep,
+		func(context.Context) error {
+			calls++
+			if calls < 4 {
+				return fmt.Errorf("transient %d", calls)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 4 {
+		t.Errorf("op ran %d times, want 4", calls)
+	}
+	// Three failures → three sleeps, doubling from Initial.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(clock.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", clock.slept, want)
+	}
+	for i, w := range want {
+		if clock.slept[i] != w {
+			t.Errorf("sleep %d = %v, want %v", i, clock.slept[i], w)
+		}
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	clock := &fakeClock{}
+	permanent := errors.New("bad request")
+	calls := 0
+	err := DoWithSleep(context.Background(), Policy{}, clock.sleep, func(context.Context) error {
+		calls++
+		return Stop(permanent)
+	})
+	if !errors.Is(err, permanent) {
+		t.Fatalf("Do = %v, want %v", err, permanent)
+	}
+	if calls != 1 || len(clock.slept) != 0 {
+		t.Errorf("permanent error retried: %d calls, %d sleeps", calls, len(clock.slept))
+	}
+}
+
+func TestDoStopNilIsSuccess(t *testing.T) {
+	err := DoWithSleep(context.Background(), Policy{}, (&fakeClock{}).sleep, func(context.Context) error {
+		return Stop(nil)
+	})
+	if err != nil {
+		t.Fatalf("Stop(nil) should succeed, got %v", err)
+	}
+}
+
+func TestDoMaxAttempts(t *testing.T) {
+	clock := &fakeClock{}
+	calls := 0
+	last := errors.New("still down")
+	err := DoWithSleep(context.Background(), Policy{MaxAttempts: 3}, clock.sleep, func(context.Context) error {
+		calls++
+		return last
+	})
+	if !errors.Is(err, last) {
+		t.Fatalf("Do = %v, want last failure", err)
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	if len(clock.slept) != 2 {
+		t.Errorf("slept %d times between 3 attempts, want 2", len(clock.slept))
+	}
+}
+
+func TestDoCancelledContextCarriesLastError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	transient := errors.New("unreachable")
+	calls := 0
+	err := DoWithSleep(ctx, Policy{}, func(ctx context.Context, d time.Duration) error {
+		cancel() // cancelled mid-backoff
+		return ctx.Err()
+	}, func(context.Context) error {
+		calls++
+		return transient
+	})
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, transient) {
+		t.Fatalf("Do = %v, want both Canceled and the transient failure", err)
+	}
+	if calls != 1 {
+		t.Errorf("op ran %d times after cancellation, want 1", calls)
+	}
+}
+
+func TestDoPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := DoWithSleep(ctx, Policy{}, (&fakeClock{}).sleep, func(context.Context) error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("op ran %d times under a dead context, want 0", calls)
+	}
+}
+
+func TestDoRealSleepHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Do(ctx, Policy{Initial: time.Hour, Jitter: 0}, func(context.Context) error {
+		return errors.New("always fails")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, timer not interrupted", elapsed)
+	}
+}

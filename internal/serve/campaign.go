@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tightsched"
+	"tightsched/internal/cluster"
 )
 
 // State is a campaign's lifecycle position. Transitions are one-way:
@@ -66,6 +67,11 @@ type Campaign struct {
 	errMsg          string
 	journalPath     string
 	result          *tightsched.SweepResult
+	// coord is the live cluster coordinator of a run.cluster campaign
+	// (nil for in-process campaigns, and again once terminal);
+	// clusterStats freezes its final snapshot for status and metrics.
+	coord        *cluster.Coordinator
+	clusterStats *cluster.Stats
 }
 
 // observer is the campaign's Observer: it keeps the status counters
@@ -122,7 +128,10 @@ type Status struct {
 	Shard   string                      `json:"shard,omitempty"`
 	Journal string                      `json:"journal,omitempty"`
 	Cache   *tightsched.SweepCacheStats `json:"cache,omitempty"`
-	Error   string                      `json:"error,omitempty"`
+	// Cluster carries the lease-lifecycle stats of a run.cluster
+	// campaign (absent for in-process campaigns).
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	Error   string         `json:"error,omitempty"`
 }
 
 // Counters is a completed/total pair.
@@ -153,6 +162,9 @@ func (c *Campaign) Status(now time.Time) Status {
 	if c.cache != nil {
 		cache := *c.cache
 		st.Cache = &cache
+	}
+	if stats := c.clusterStatsLocked(); stats != nil {
+		st.Cluster = stats
 	}
 	if !c.started.IsZero() {
 		t := c.started
@@ -200,9 +212,64 @@ func (c *Campaign) Cancel() {
 	c.cancel()
 }
 
+// CancelRequested reports whether Cancel was called explicitly (DELETE),
+// as opposed to the campaign's context dying with the daemon. Cluster
+// campaigns use the distinction to decide whether their lease log ends
+// for good or stays live for a restart to resume.
+func (c *Campaign) CancelRequested() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cancelRequested
+}
+
 // Done returns the channel closed when the campaign reaches a terminal
 // state.
 func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Coordinator returns the campaign's live cluster coordinator (nil for
+// in-process campaigns, and for cluster campaigns once terminal).
+func (c *Campaign) Coordinator() *cluster.Coordinator {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coord
+}
+
+// setCoordinator publishes the live coordinator to the lease handlers.
+func (c *Campaign) setCoordinator(coord *cluster.Coordinator) {
+	c.mu.Lock()
+	c.coord = coord
+	c.mu.Unlock()
+}
+
+// finishCluster detaches the live coordinator (lease endpoints answer
+// 410 from here on) and freezes its final stats snapshot.
+func (c *Campaign) finishCluster(stats cluster.Stats) {
+	c.mu.Lock()
+	c.coord = nil
+	c.clusterStats = &stats
+	c.mu.Unlock()
+}
+
+// clusterStatsLocked snapshots the cluster stats with c.mu held: live
+// coordinator gauges while running, the frozen final once terminal. The
+// c.mu → coordinator-mutex lock order is safe — the coordinator never
+// calls back into the campaign while holding its own lock (OnInstance
+// fires after it unlocks).
+func (c *Campaign) clusterStatsLocked() *cluster.Stats {
+	if c.coord != nil {
+		st := c.coord.Snapshot()
+		return &st
+	}
+	return c.clusterStats
+}
+
+// ClusterStats snapshots the campaign's cluster stats (nil for
+// in-process campaigns).
+func (c *Campaign) ClusterStats() *cluster.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clusterStatsLocked()
+}
 
 // markRunning transitions pending → running.
 func (c *Campaign) markRunning(now time.Time) {

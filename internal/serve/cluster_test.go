@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tightsched"
+)
+
+// clusterSpec is a small campaign leased to external workers: 4 work
+// units over 8 coordinates / 16 instances.
+const clusterSpec = `
+version: 1
+name: cluster-tiny
+sweep:
+  m: 5
+  ncoms: [5]
+  wmins: [1, 2]
+  scenarios: 2
+  trials: 2
+  cap: 50000
+  seed: 7
+  heuristics: [IE, RANDOM]
+run:
+  cluster:
+    units: 4
+    leaseTtl: 2s
+    gcInterval: 100ms
+`
+
+// startWorkers runs n in-process cluster workers against the daemon's
+// URL and returns a stop function that kills and joins them.
+func startWorkers(t *testing.T, url string, n int) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tightsched.RunClusterWorker(ctx, tightsched.ClusterWorkerOptions{
+				Coordinator: url,
+				Name:        fmt.Sprintf("test-w%d", i),
+				Parallelism: 2,
+				UploadBatch: 4,
+				IdlePoll:    20 * time.Millisecond,
+				Backoff:     tightsched.RetryPolicy{Initial: 10 * time.Millisecond, Max: 200 * time.Millisecond},
+			})
+		}(i)
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// metricValue extracts one sample ("name{labels} 42") from a /metrics
+// body.
+func metricValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: unparseable value %q", sample, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in /metrics", sample)
+	return 0
+}
+
+// TestClusterCampaignEndToEnd is the full worker-facing contract over
+// real HTTP: submit a run.cluster spec, let in-process workers drain it,
+// and require the Table I artifact byte-identical to the library's
+// sequential rendering, with the lease lifecycle visible in the status
+// and /metrics.
+func TestClusterCampaignEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := submit(t, ts, clusterSpec, "application/yaml")
+
+	stop := startWorkers(t, ts.URL, 2)
+	defer stop()
+
+	final := waitState(t, ts, st.ID)
+	if final.State != StateSucceeded {
+		t.Fatalf("cluster campaign ended %s (%s)", final.State, final.Error)
+	}
+	if final.Progress.Completed != 16 || final.Progress.Total != 16 {
+		t.Errorf("progress = %+v, want 16/16", final.Progress)
+	}
+	if final.Cluster == nil {
+		t.Fatal("terminal cluster campaign reports no cluster stats")
+	}
+	if final.Cluster.UnitsDone != 4 || final.Cluster.Granted < 4 || final.Cluster.Accepted != 16 {
+		t.Errorf("cluster stats = %+v", final.Cluster)
+	}
+
+	// Byte parity with the sequential library path — the acceptance bar.
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/tables/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tables/1: %s: %s", resp.Status, served)
+	}
+	spec, serr := DecodeSpec([]byte(clusterSpec), "application/yaml")
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	res, err := tightsched.NewSession().RunSweep(context.Background(), spec.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tightsched.RenderTableArtifact(res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(served) != want {
+		t.Errorf("cluster artifact differs from sequential rendering:\n--- served ---\n%s\n--- want ---\n%s", served, want)
+	}
+
+	// The lease lifecycle shows up in /metrics (frozen stats included).
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	if v := metricValue(t, metrics, `tightsched_cluster_units{state="done"}`); v != 4 {
+		t.Errorf("units done = %v, want 4", v)
+	}
+	if v := metricValue(t, metrics, `tightsched_cluster_leases_total{event="granted"}`); v < 4 {
+		t.Errorf("leases granted = %v, want >= 4", v)
+	}
+	if v := metricValue(t, metrics, `tightsched_cluster_uploads_total{outcome="accepted"}`); v != 16 {
+		t.Errorf("uploads accepted = %v, want 16", v)
+	}
+	if v := metricValue(t, metrics, `tightsched_cluster_uploads_total{outcome="conflict"}`); v != 0 {
+		t.Errorf("conflicts = %v, want 0", v)
+	}
+
+	// Lease endpoints answer 410 once the campaign is terminal.
+	resp, err = http.Post(ts.URL+"/v1/campaigns/"+st.ID+"/cluster/leases/l1/heartbeat",
+		"application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("heartbeat on finished campaign: %s, want 410", resp.Status)
+	}
+}
+
+// TestClusterRecovery is the coordinator-restart half of the acceptance
+// bar: a daemon that dies mid-campaign (graceful or kill -9 — neither
+// writes a terminal lease-log event) resumes the campaign on the next
+// start, while an explicitly DELETEd campaign stays dead.
+func TestClusterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv1, err := NewServer(Config{DataDir: dir, Runners: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	// Campaign A is cancelled explicitly: its lease log ends for good.
+	stA := submit(t, ts1, clusterSpec, "application/yaml")
+	req, _ := http.NewRequest(http.MethodDelete, ts1.URL+"/v1/campaigns/"+stA.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if st := waitState(t, ts1, stA.ID); st.State != StateCancelled {
+		t.Fatalf("deleted campaign ended %s", st.State)
+	}
+
+	// Campaign B is mid-flight (no workers attached) when the daemon
+	// stops.
+	stB := submit(t, ts1, clusterSpec, "application/yaml")
+	ts1.Close()
+	srv1.Close()
+
+	srv2, err := NewServer(Config{DataDir: dir, Runners: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := srv2.RecoverClusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != 1 || resumed[0] != stB.ID {
+		t.Fatalf("resumed %v, want exactly [%s] (A was DELETEd)", resumed, stB.ID)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.Close()
+	})
+
+	// The resumed campaign keeps its identity and finishes normally.
+	stop := startWorkers(t, ts2.URL, 2)
+	defer stop()
+	final := waitState(t, ts2, stB.ID)
+	if final.State != StateSucceeded {
+		t.Fatalf("resumed campaign ended %s (%s)", final.State, final.Error)
+	}
+
+	resp, err := http.Get(ts2.URL + "/v1/campaigns/" + stB.ID + "/tables/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	spec, serr := DecodeSpec([]byte(clusterSpec), "application/yaml")
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	res, err := tightsched.NewSession().RunSweep(context.Background(), spec.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tightsched.RenderTableArtifact(res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(served) != want {
+		t.Error("resumed campaign's artifact differs from sequential rendering")
+	}
+
+	// A third recovery pass finds nothing live.
+	if again, err := srv2.RecoverClusters(); err != nil || len(again) != 0 {
+		t.Fatalf("second recovery pass: %v, %v", again, err)
+	}
+}
+
+// TestClusterSpecValidation covers the run.cluster spec surface: the
+// structured 400s and the no-data-dir refusal.
+func TestClusterSpecValidation(t *testing.T) {
+	base := `
+version: 1
+sweep:
+  m: 5
+  ncoms: [5]
+  wmins: [1]
+  scenarios: 1
+  trials: 1
+  cap: 50000
+  seed: 7
+run:
+`
+	cases := []struct {
+		name, run, wantPath string
+	}{
+		{"with shard", "  shard: 0/2\n  cluster:\n    units: 2", "run.cluster"},
+		{"without journal", "  journal: false\n  cluster:\n    units: 2", "run.cluster"},
+		{"unknown key", "  cluster:\n    bogus: 1", "run.cluster.bogus"},
+		{"bad ttl", "  cluster:\n    leaseTtl: fast", "run.cluster.leaseTtl"},
+		{"negative units", "  cluster:\n    units: -1", "run.cluster.units"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, serr := DecodeSpec([]byte(base+tc.run), "application/yaml")
+			if serr == nil {
+				t.Fatal("defective spec accepted")
+			}
+			if serr.Path != tc.wantPath {
+				t.Fatalf("error path %q, want %q (%s)", serr.Path, tc.wantPath, serr.Message)
+			}
+		})
+	}
+
+	// A daemon without a data directory cannot host cluster campaigns.
+	srv, err := NewServer(Config{Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/yaml", strings.NewReader(clusterSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cluster submit without data dir: %s: %s", resp.Status, body)
+	}
+	var e struct {
+		Error struct{ Path, Message string }
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Path != "run.cluster" {
+		t.Fatalf("error body: %s", body)
+	}
+}

@@ -32,6 +32,9 @@ type Config struct {
 	MaxSpecBytes int64
 	// Heartbeat is the SSE keep-alive comment interval (default 15s).
 	Heartbeat time.Duration
+	// Logf, when set, receives operational log lines (cluster
+	// coordinator activity, recovery). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Server is the campaign service: it owns the campaign table, the
@@ -96,6 +99,13 @@ func NewServer(cfg Config) (*Server, error) {
 	}, nil
 }
 
+// logf writes one operational log line through Config.Logf.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
 // Close stops the server: every pending and running campaign is
 // cancelled (journals stay flushed and resumable) and Close blocks until
 // all runners have exited. It is the daemon's SIGTERM path, after the
@@ -128,6 +138,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/campaigns/{id}/tables/{table}", s.handleTable)
+	mux.HandleFunc("POST /v1/cluster/claim", s.handleClusterClaim)
+	mux.HandleFunc("POST /v1/campaigns/{id}/cluster/leases/{lease}/heartbeat", s.handleLeaseHeartbeat)
+	mux.HandleFunc("POST /v1/campaigns/{id}/cluster/leases/{lease}/results", s.handleLeaseResults)
+	mux.HandleFunc("POST /v1/campaigns/{id}/cluster/leases/{lease}/complete", s.handleLeaseComplete)
 	mux.HandleFunc("GET /v1/heuristics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"heuristics": tightsched.Heuristics()})
 	})
@@ -165,6 +179,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.Sweep.Workers == 0 && s.cfg.Workers > 0 {
 		spec.Sweep.Workers = s.cfg.Workers
 	}
+	if spec.Cluster != nil && s.cfg.DataDir == "" {
+		writeError(w, http.StatusBadRequest, "run.cluster",
+			"cluster execution needs a durable journal, but this daemon has no data directory")
+		return
+	}
 
 	now := time.Now().UTC()
 	s.mu.Lock()
@@ -195,7 +214,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go s.runCampaign(ctx, c)
+	if spec.Cluster != nil {
+		go s.runClusterCampaign(ctx, c)
+	} else {
+		go s.runCampaign(ctx, c)
+	}
 	writeJSON(w, http.StatusAccepted, c.Status(time.Now().UTC()))
 }
 
@@ -529,6 +552,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP tightsched_sse_dropped_total SSE subscribers dropped for lagging.\n")
 	fmt.Fprintf(w, "# TYPE tightsched_sse_dropped_total counter\n")
 	fmt.Fprintf(w, "tightsched_sse_dropped_total %d\n", s.metrics.sseDropped.Load())
+	cl := s.clusterMetrics()
+	fmt.Fprintf(w, "# HELP tightsched_cluster_units Cluster work units by lease state, across campaigns.\n")
+	fmt.Fprintf(w, "# TYPE tightsched_cluster_units gauge\n")
+	fmt.Fprintf(w, "tightsched_cluster_units{state=\"available\"} %d\n", cl.Available)
+	fmt.Fprintf(w, "tightsched_cluster_units{state=\"leased\"} %d\n", cl.Leased)
+	fmt.Fprintf(w, "tightsched_cluster_units{state=\"done\"} %d\n", cl.UnitsDone)
+	fmt.Fprintf(w, "# HELP tightsched_cluster_workers Distinct workers holding live leases.\n")
+	fmt.Fprintf(w, "# TYPE tightsched_cluster_workers gauge\n")
+	fmt.Fprintf(w, "tightsched_cluster_workers %d\n", cl.Workers)
+	fmt.Fprintf(w, "# HELP tightsched_cluster_leases_total Lease lifecycle transitions by kind.\n")
+	fmt.Fprintf(w, "# TYPE tightsched_cluster_leases_total counter\n")
+	fmt.Fprintf(w, "tightsched_cluster_leases_total{event=\"granted\"} %d\n", cl.Granted)
+	fmt.Fprintf(w, "tightsched_cluster_leases_total{event=\"expired\"} %d\n", cl.Expired)
+	fmt.Fprintf(w, "tightsched_cluster_leases_total{event=\"requeued\"} %d\n", cl.Requeued)
+	fmt.Fprintf(w, "tightsched_cluster_leases_total{event=\"resharded\"} %d\n", cl.Resharded)
+	fmt.Fprintf(w, "# HELP tightsched_cluster_heartbeats_total Lease heartbeats received.\n")
+	fmt.Fprintf(w, "# TYPE tightsched_cluster_heartbeats_total counter\n")
+	fmt.Fprintf(w, "tightsched_cluster_heartbeats_total %d\n", cl.Heartbeats)
+	fmt.Fprintf(w, "# HELP tightsched_cluster_uploads_total Uploaded instances by ingest outcome.\n")
+	fmt.Fprintf(w, "# TYPE tightsched_cluster_uploads_total counter\n")
+	fmt.Fprintf(w, "tightsched_cluster_uploads_total{outcome=\"accepted\"} %d\n", cl.Accepted)
+	fmt.Fprintf(w, "tightsched_cluster_uploads_total{outcome=\"duplicate\"} %d\n", cl.Duplicates)
+	fmt.Fprintf(w, "tightsched_cluster_uploads_total{outcome=\"conflict\"} %d\n", cl.Conflicts)
 	fmt.Fprintf(w, "# HELP tightsched_campaign_wall_seconds Per-campaign execution wall clock.\n")
 	fmt.Fprintf(w, "# TYPE tightsched_campaign_wall_seconds gauge\n")
 	sort.Slice(walls, func(i, j int) bool { return walls[i].id < walls[j].id })

@@ -65,6 +65,10 @@ type Spec struct {
 	// Journal selects durable execution: the daemon journals the campaign
 	// to its data directory, making cancellation resumable (default true).
 	Journal bool
+	// Cluster, when set, runs the campaign on external worker processes
+	// with crash-tolerant leases (run.cluster block) instead of the
+	// in-process runner pool.
+	Cluster *ClusterSpec
 }
 
 // specDocument is the raw v1 document shape, named here only for
@@ -93,6 +97,11 @@ type Spec struct {
 //	  workers: 0               # per-campaign parallel sims (0 = NumCPU)
 //	  journal: true            # journal to the daemon's data dir
 //	  shard: 0/3               # run one slice of the grid
+//	  cluster:                 # lease the grid to external workers
+//	    units: 8               # initial work-unit decomposition
+//	    leaseTtl: 15s          # lease expiry without a heartbeat
+//	    gcInterval: 5s         # expired-lease sweep cadence
+//	    reshard: true          # split requeued units in half
 //
 // DecodeSpec parses, validates and defaults a campaign spec. contentType
 // selects the format ("application/json", "application/yaml" or
@@ -331,7 +340,7 @@ func sweepFromTree(m map[string]any, preset string) (tightsched.Sweep, *SpecErro
 // single validation point the WithTimeAdvance option uses.
 func runFromTree(m map[string]any, spec *Spec) (tightsched.SweepRuntime, *SpecError) {
 	var rt tightsched.SweepRuntime
-	if serr := rejectUnknown(m, "run.", "advance", "maxLeap", "workers", "journal", "shard"); serr != nil {
+	if serr := rejectUnknown(m, "run.", "advance", "maxLeap", "workers", "journal", "shard", "cluster"); serr != nil {
 		return rt, serr
 	}
 	if v, present, serr := stringField(m, "advance", "run.advance"); serr != nil {
@@ -372,6 +381,25 @@ func runFromTree(m map[string]any, spec *Spec) (tightsched.SweepRuntime, *SpecEr
 			return rt, specErr("run.shard", "invalid shard %q (want 0-based \"i/n\" with i < n)", v)
 		}
 		spec.Shard = shard
+	}
+	if raw, ok := m["cluster"]; ok && raw != nil {
+		clusterMap, ok := raw.(map[string]any)
+		if !ok {
+			return rt, specErr("run.cluster", "must be a mapping")
+		}
+		cs, serr := clusterFromTree(clusterMap)
+		if serr != nil {
+			return rt, serr
+		}
+		// Cluster execution owns the whole grid (the coordinator shards
+		// it into lease units itself) and lives on its journal.
+		if spec.Shard.Count > 1 {
+			return rt, specErr("run.cluster", "incompatible with run.shard (the coordinator decomposes the grid itself)")
+		}
+		if !spec.Journal {
+			return rt, specErr("run.cluster", "requires run.journal: true (the journal is the dedup and completion authority)")
+		}
+		spec.Cluster = cs
 	}
 	return rt, nil
 }
