@@ -18,6 +18,7 @@ import (
 	"tightsched/internal/app"
 	"tightsched/internal/avail"
 	"tightsched/internal/exp"
+	"tightsched/internal/grid"
 	"tightsched/internal/markov"
 	"tightsched/internal/platform"
 	"tightsched/internal/rng"
@@ -694,4 +695,41 @@ func BenchmarkAblationSurviveCache(b *testing.B) {
 		}
 		_ = sink
 	})
+}
+
+// BenchmarkOnlineStep runs one complete online grid simulation — the
+// quick campaign's recorded trace through EDF admission with
+// lowest-priority preemption on the tiered platform — per op. It is the
+// online layer's SweepPoint: the benchgate baseline pins the cost of
+// one Table IV instance.
+func BenchmarkOnlineStep(b *testing.B) {
+	g := exp.QuickOnlineSweep()
+	g.Horizon = 4_000
+	g.Trials = 1
+	g.Arrivals = g.Arrivals[1:2] // the recorded trace
+	g.Admissions = []string{"edf"}
+	g.Preemptions = []string{"lowest-priority"}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunGridContext(context.Background(), g, exp.GridRunOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Instances) != 1 {
+			b.Fatalf("got %d instances", len(res.Instances))
+		}
+	}
+}
+
+// BenchmarkArrivalStream materializes a 100-application Poisson arrival
+// stream per op — the per-trial setup cost every online instance pays
+// before its first slot.
+func BenchmarkArrivalStream(b *testing.B) {
+	spec := grid.ArrivalSpec{Kind: grid.KindPoisson, MeanGap: 120, Apps: 100, WminLo: 1, WminHi: 3, DeadlineFactor: 15}
+	shape := grid.Shape{M: 5, Iterations: 5, AppProcs: 4, Ncom: 6}
+	for i := 0; i < b.N; i++ {
+		arrivals := spec.Materialize(rng.NewKeyed(uint64(i), 0xa221), shape)
+		if len(arrivals) != 100 {
+			b.Fatalf("got %d arrivals", len(arrivals))
+		}
+	}
 }

@@ -9,6 +9,11 @@
 #      journal that `tables -resume` completes bit-identically to an
 #      uninterrupted run.
 #
+# Plus the online extension (contract 1b): a grid campaign submitted as
+# a JSON spec must serve a Table IV byte-identical to
+# `tables -table 4 -quiet`, and export the tightsched_grid_* metric
+# families (gauges drained to zero, a nonzero deadline-miss counter).
+#
 # Everything (binaries, logs, journals, fetched artifacts) lands in
 # E2E_DIR so CI can upload it as a failure artifact. Needs curl and jq.
 set -euo pipefail
@@ -114,6 +119,43 @@ for sample in \
     grep -qF "$sample" "$E2E_DIR/metrics.txt" ||
         fail "metrics missing cluster sample: $sample"
 done
+
+# ---- contract 1b: online grid campaign, Table IV parity + grid metrics ----
+
+# Grid specs ride the same endpoint as sweeps; the quick preset is the
+# same campaign `tables -table 4 -quiet` runs, so the served Table IV
+# must be byte-identical to the CLI rendering.
+cat >"$E2E_DIR/table4.json" <<'EOF'
+{"version": 1, "name": "e2e-table4", "preset": "quick", "grid": {}}
+EOF
+
+ID4=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$E2E_DIR/table4.json" "$BASE/v1/campaigns" | jq -r .id)
+[ -n "$ID4" ] && [ "$ID4" != null ] || fail "grid submit returned no campaign id"
+echo "daemon-e2e: submitted grid campaign $ID4"
+
+STATE4=$(wait_terminal "$ID4")
+[ "$STATE4" = succeeded ] || fail "grid campaign $ID4 ended '$STATE4'"
+
+curl -sf "$BASE/v1/campaigns/$ID4/tables/4" >"$E2E_DIR/daemon_table4.txt"
+"$E2E_DIR/tables" -table 4 -quiet | grep -v '^#' >"$E2E_DIR/cli_table4.txt"
+cmp "$E2E_DIR/daemon_table4.txt" "$E2E_DIR/cli_table4.txt" ||
+    fail "daemon Table IV differs from cmd/tables output (see $E2E_DIR/{daemon,cli}_table4.txt)"
+echo "daemon-e2e: Table IV artifact is byte-identical to cmd/tables"
+
+# The grid telemetry families: both gauges drained back to zero once the
+# campaign finished, and the quick campaign's impossible deadlines left a
+# nonzero miss counter.
+curl -sf "$BASE/metrics" >"$E2E_DIR/metrics_grid.txt"
+grep -qF 'tightsched_grid_queue_depth 0' "$E2E_DIR/metrics_grid.txt" ||
+    fail "grid queue-depth gauge missing or not drained"
+grep -qF 'tightsched_grid_running_apps 0' "$E2E_DIR/metrics_grid.txt" ||
+    fail "grid running-apps gauge missing or not drained"
+MISSES=$(awk '$1 == "tightsched_grid_deadline_misses_total" {print $2}' "$E2E_DIR/metrics_grid.txt")
+[ -n "$MISSES" ] || fail "metrics missing tightsched_grid_deadline_misses_total"
+[ "$MISSES" -gt 0 ] 2>/dev/null ||
+    fail "grid deadline-miss counter is '$MISSES', want > 0 for the quick campaign"
+echo "daemon-e2e: grid metrics exported (deadline misses: $MISSES)"
 
 # ---- contract 2: SIGTERM mid-campaign, journal resumes bit-identically ----
 

@@ -5,7 +5,11 @@
 // cross-model comparison the paper's Section VII.B only speculates
 // about — reruns the m = 5 campaign under every availability model of
 // -models (Markov ground truth versus model-violating semi-Markov truth
-// with fitted believed matrices) and prints one table per model.
+// with fitted believed matrices) and prints one table per model. Table
+// IV is the online extension: a multi-application grid campaign (arrival
+// streams × admission policies × preemption policies on a heterogeneous
+// platform under the diurnal availability model) aggregated into
+// per-policy response, slowdown and deadline-miss metrics.
 //
 // Scale:
 //
@@ -20,6 +24,7 @@
 //	tables -table 2
 //	tables -table 3
 //	tables -table 3 -models markov,semimarkov,lognormal
+//	tables -table 4
 //	tables -figure 2
 //	tables -table 1 -scale full
 //
@@ -57,7 +62,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "regenerate Table 1 (m=5), 2 (m=10) or 3 (m=5, per availability model)")
+		table     = flag.Int("table", 0, "regenerate Table 1 (m=5), 2 (m=10), 3 (m=5, per availability model) or 4 (online grid)")
 		figure    = flag.Int("figure", 0, "regenerate Figure 2 (%diff vs wmin, m=10)")
 		models    = flag.String("models", "", "availability models to sweep, e.g. markov,semimarkov (Table 3 default: markov,semimarkov)")
 		scale     = flag.String("scale", "quick", "quick | full")
@@ -84,8 +89,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tables: only Figure 2 exists in the paper")
 		os.Exit(2)
 	}
-	if *table != 0 && (*table < 1 || *table > 3) {
-		fmt.Fprintln(os.Stderr, "tables: choose Table 1, 2 or 3")
+	if *table != 0 && (*table < 1 || *table > 4) {
+		fmt.Fprintln(os.Stderr, "tables: choose Table 1, 2, 3 or 4")
 		os.Exit(2)
 	}
 	if (*table == 1 || *table == 3) && *figure == 2 {
@@ -106,6 +111,26 @@ func main() {
 	// honors the cancellation promptly.
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
+
+	if *table == 4 {
+		// Table IV aggregates an online grid campaign, a different
+		// instance grid from the offline sweeps: the offline campaign
+		// shape and execution flags cannot apply.
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "figure", "models", "scenarios", "cap", "wmins", "shard", "merge", "advance":
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			fmt.Fprintf(os.Stderr, "tables: Table 4 is an online grid campaign; %s cannot apply — drop them\n",
+				strings.Join(conflicting, " "))
+			os.Exit(2)
+		}
+		runTable4(ctx, *scale, *trials, *workers, *seed, *journal, *resume, *quiet)
+		return
+	}
 
 	m := 5
 	if *table == 2 || *figure == 2 {
@@ -318,6 +343,108 @@ func main() {
 		names := []string{"E-IAY", "E-IP", "E-IY", "IAY", "IE", "IY", "P-IE", "Y-IE"}
 		fmt.Print(tightsched.FormatFigure2(series, names))
 	}
+}
+
+// runTable4 executes (or resumes) an online grid campaign and prints
+// Table IV. Like the offline path, the artifact bytes come from
+// RenderTableArtifact, the same function behind the daemon's
+// GET /v1/campaigns/{id}/tables/4.
+func runTable4(ctx context.Context, scale string, trials, workers int, seed uint64, journalPath string, resume, quiet bool) {
+	var g tightsched.OnlineSweep
+	switch scale {
+	case "quick":
+		g = tightsched.QuickOnlineSweep()
+	case "full":
+		g = tightsched.PaperOnlineSweep()
+	default:
+		fmt.Fprintln(os.Stderr, "tables: -scale must be quick or full")
+		os.Exit(2)
+	}
+	if trials > 0 {
+		g.Trials = trials
+	}
+	if seed != 0 {
+		g.Seed = seed
+	}
+	if workers > 0 {
+		g.Workers = workers
+	}
+	if resume && journalPath == "" {
+		fmt.Fprintln(os.Stderr, "tables: -resume needs -journal")
+		os.Exit(2)
+	}
+
+	arrivals := make([]string, len(g.Arrivals))
+	for i, a := range g.Arrivals {
+		arrivals[i] = a.Name()
+	}
+	fmt.Printf("# online grid: arrivals=%v admissions=%v preemptions=%v trials=%d horizon=%d heuristic=%s model=%s seed=%d (%d instances)\n",
+		arrivals, g.Admissions, g.Preemptions, g.Trials, g.Horizon, g.Heuristic, g.Model, g.Seed, g.InstanceCount())
+
+	start := time.Now()
+	progress := func(done, total int) {
+		if quiet {
+			return
+		}
+		if done%10 == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "\r%d/%d instances (%.0fs)", done, total, time.Since(start).Seconds())
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	session := tightsched.NewSession(tightsched.WithProgress(progress))
+	var runOpts []tightsched.Option
+	var j *tightsched.OnlineJournal
+	if journalPath != "" {
+		var err error
+		j, err = openOrCreateOnlineJournal(journalPath, resume, g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		if n := len(j.Done()); resume && n > 0 {
+			fmt.Printf("# resuming: %d instances already journaled\n", n)
+		}
+		runOpts = append(runOpts, tightsched.WithOnlineJournal(j))
+	}
+	res, err := session.RunOnline(ctx, g, runOpts...)
+	if j != nil {
+		if cerr := j.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr)
+			if journalPath != "" {
+				fmt.Fprintf(os.Stderr, "tables: interrupted — journal %s is intact; rerun with -resume to continue\n", journalPath)
+			} else {
+				fmt.Fprintln(os.Stderr, "tables: interrupted — no journal was attached; pass -journal to make long runs resumable")
+			}
+			os.Exit(cli.ExitInterrupted)
+		}
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	artifact, err := tightsched.RenderTableArtifact(res, 4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	fmt.Print(artifact)
+}
+
+// openOrCreateOnlineJournal is openOrCreateJournal's grid counterpart.
+func openOrCreateOnlineJournal(path string, resume bool, g tightsched.OnlineSweep) (*tightsched.OnlineJournal, error) {
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			return tightsched.OpenOnlineJournal(path, g)
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return tightsched.CreateOnlineJournal(path, g)
 }
 
 // sweepHeuristics returns the campaign's resolved heuristic list.

@@ -1,6 +1,7 @@
 package tightsched_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -300,5 +301,54 @@ func TestQuickSweepDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(res.Instances, reference.Instances) {
 			t.Fatalf("workers=%d: instances differ from workers=1", workers)
 		}
+	}
+}
+
+// goldenTableIV pins the quick online campaign's full Table IV artifact
+// — the bytes cmd/tables -table 4 prints and the daemon serves at
+// /tables/4. Any engine, policy, arrival-stream or aggregation change
+// that shifts a digit must be deliberate and update this pin.
+const goldenTableIV = "\n" +
+	"Table IV — online grid: per-policy response, slowdown and deadline misses (heuristic: IE, model: diurnal)\n" +
+	"\n" +
+	"arrival    adm    preempt           apps  done  evict  miss%      resp   slowdn   makespan\n" +
+	"poisson    edf    lowest-priority     24    24      2   12.5    426.96    10.67       2610\n" +
+	"poisson    edf    none                24    24      0   16.7    425.58    11.00       2574\n" +
+	"poisson    fcfs   lowest-priority     24    24      0   20.8    442.71    12.01       2504\n" +
+	"poisson    fcfs   none                24    24      0   20.8    442.71    12.01       2504\n" +
+	"poisson    sjf    lowest-priority     24    24      2   12.5    430.25    10.82       2514\n" +
+	"poisson    sjf    none                24    24      0   16.7    425.58    11.00       2574\n" +
+	"trace      edf    lowest-priority     20    20      5   15.0    516.30    20.09       3228\n" +
+	"trace      edf    none                20    20      0   25.0    501.95    18.89       3228\n" +
+	"trace      fcfs   lowest-priority     20    20      0   20.0    501.95    18.89       3228\n" +
+	"trace      fcfs   none                20    20      0   20.0    501.95    18.89       3228\n" +
+	"trace      sjf    lowest-priority     20    20      4   20.0    515.05    20.02       3228\n" +
+	"trace      sjf    none                20    20      0   20.0    501.95    18.89       3228\n"
+
+// TestQuickOnlineGoldenTableIV runs the quick Table IV campaign through
+// the public facade and requires the rendered artifact byte-identical
+// to the pin — the online layer's end-to-end determinism gate.
+func TestQuickOnlineGoldenTableIV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick online campaign takes a few seconds")
+	}
+	res, err := tightsched.NewSession().RunOnline(context.Background(), tightsched.QuickOnlineSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid.Instances) != 24 {
+		t.Fatalf("quick online campaign produced %d instances, want 24", len(res.Grid.Instances))
+	}
+	got, err := tightsched.RenderTableArtifact(res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != goldenTableIV {
+		t.Errorf("Table IV drifted from the golden pin:\n--- got ---\n%s\n--- want ---\n%s", got, goldenTableIV)
+	}
+
+	// The offline tables must refuse an online result, and vice versa.
+	if _, err := tightsched.RenderTableArtifact(res, 1); err == nil {
+		t.Error("Table I rendered an online grid campaign")
 	}
 }

@@ -1,0 +1,237 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"tightsched/internal/grid"
+	"tightsched/internal/platform"
+)
+
+// GridSpec is a GridSweep's serializable identity — every parameter that
+// affects results, and nothing that only affects execution (Workers).
+// It is the journal header of grid campaigns and the stamped identity
+// the daemon reports; arrival traces ride inline, so a journaled trace
+// campaign resumes headlessly with no trace file around.
+type GridSpec struct {
+	Tiers       []platform.SpeedTier `json:"tiers"`
+	Ncom        int                  `json:"ncom"`
+	AppProcs    int                  `json:"appProcs"`
+	M           int                  `json:"m"`
+	Iterations  int                  `json:"iterations"`
+	Horizon     int64                `json:"horizon"`
+	Heuristic   string               `json:"heuristic"`
+	Model       string               `json:"model"`
+	Seed        uint64               `json:"seed"`
+	Trials      int                  `json:"trials"`
+	Arrivals    []grid.ArrivalSpec   `json:"arrivals"`
+	Admissions  []string             `json:"admissions"`
+	Preemptions []string             `json:"preemptions"`
+}
+
+// Spec returns the sweep's identity.
+func (g *GridSweep) Spec() GridSpec {
+	return GridSpec{
+		Tiers:       g.Tiers,
+		Ncom:        g.Ncom,
+		AppProcs:    g.AppProcs,
+		M:           g.M,
+		Iterations:  g.Iterations,
+		Horizon:     g.Horizon,
+		Heuristic:   g.Heuristic,
+		Model:       g.Model,
+		Seed:        g.Seed,
+		Trials:      g.Trials,
+		Arrivals:    g.Arrivals,
+		Admissions:  g.Admissions,
+		Preemptions: g.Preemptions,
+	}
+}
+
+// Sweep reconstructs the campaign a spec identifies.
+func (sp GridSpec) Sweep() GridSweep {
+	return GridSweep{
+		Tiers:       sp.Tiers,
+		Ncom:        sp.Ncom,
+		AppProcs:    sp.AppProcs,
+		M:           sp.M,
+		Iterations:  sp.Iterations,
+		Horizon:     sp.Horizon,
+		Heuristic:   sp.Heuristic,
+		Model:       sp.Model,
+		Seed:        sp.Seed,
+		Trials:      sp.Trials,
+		Arrivals:    sp.Arrivals,
+		Admissions:  sp.Admissions,
+		Preemptions: sp.Preemptions,
+	}
+}
+
+// gridHeader is a grid journal's first line. The kind marker keeps grid
+// and sweep journals from being mistaken for one another.
+type gridHeader struct {
+	V    int      `json:"v"`
+	Kind string   `json:"kind"`
+	Spec GridSpec `json:"spec"`
+}
+
+const gridJournalKind = "grid"
+
+// GridJournal is the append-only JSONL journal of an online campaign —
+// the same crash-tolerant substrate as the sweep Journal (one header
+// line, one GridInstance per line, flush per append, torn tails
+// truncated on reopen), keyed by (arrival, admission, preemption,
+// trial).
+type GridJournal struct {
+	mu     sync.Mutex
+	w      *JSONLWriter
+	path   string
+	header gridHeader
+	done   map[GridKey]GridInstance
+}
+
+// CreateGridJournal starts a new journal for the campaign. It refuses to
+// clobber an existing file.
+func CreateGridJournal(path string, g *GridSweep) (*GridJournal, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	header := gridHeader{V: 1, Kind: gridJournalKind, Spec: g.Spec()}
+	w, err := CreateJSONL(path, header)
+	if err != nil {
+		return nil, err
+	}
+	return &GridJournal{w: w, path: path, header: header, done: map[GridKey]GridInstance{}}, nil
+}
+
+// readGridJournal loads a journal file read-only: header, completed
+// instances, and the intact prefix length for appenders.
+func readGridJournal(path string) (gridHeader, map[GridKey]GridInstance, int64, error) {
+	raw, records, validLen, err := ReadJSONL(path)
+	if err != nil {
+		return gridHeader{}, nil, 0, err
+	}
+	var header gridHeader
+	if err := json.Unmarshal(raw, &header); err != nil {
+		return gridHeader{}, nil, 0, fmt.Errorf("%s: bad journal header: %w", path, err)
+	}
+	if header.V != 1 || header.Kind != gridJournalKind {
+		return gridHeader{}, nil, 0, fmt.Errorf("%s: not a v1 grid journal (v=%d kind=%q)", path, header.V, header.Kind)
+	}
+	done := map[GridKey]GridInstance{}
+	for i, rec := range records {
+		var inst GridInstance
+		if err := json.Unmarshal(rec, &inst); err != nil {
+			if i == len(records)-1 {
+				// Torn tail: drop the damaged final line, as the sweep
+				// journal does.
+				validLen -= int64(len(rec)) + 1
+				break
+			}
+			return gridHeader{}, nil, 0, fmt.Errorf("%s: bad journal record %d: %w", path, i+1, err)
+		}
+		done[inst.Key()] = inst
+	}
+	return header, done, validLen, nil
+}
+
+// OpenGridJournal reopens an existing journal for appending, dropping a
+// crash-torn tail. The journal's spec must match the campaign exactly.
+func OpenGridJournal(path string, g *GridSweep) (*GridJournal, error) {
+	header, done, validLen, err := readGridJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	j := &GridJournal{path: path, header: header, done: done}
+	if err := j.matches(g); err != nil {
+		return nil, err
+	}
+	w, err := OpenJSONLAppend(path, validLen)
+	if err != nil {
+		return nil, err
+	}
+	j.w = w
+	return j, nil
+}
+
+// matches verifies the journal belongs to the campaign.
+func (j *GridJournal) matches(g *GridSweep) error {
+	if !reflect.DeepEqual(j.header.Spec, g.Spec()) {
+		return fmt.Errorf("%s: journal belongs to a different grid campaign", j.path)
+	}
+	return nil
+}
+
+// Append journals one completed instance.
+func (j *GridJournal) Append(inst GridInstance) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Append(inst); err != nil {
+		return err
+	}
+	j.done[inst.Key()] = inst
+	return nil
+}
+
+// Done returns a copy of the journaled instances by key.
+func (j *GridJournal) Done() map[GridKey]GridInstance {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	done := make(map[GridKey]GridInstance, len(j.done))
+	for k, v := range j.done {
+		done[k] = v
+	}
+	return done
+}
+
+// Path returns the journal's file path.
+func (j *GridJournal) Path() string { return j.path }
+
+// Close closes the journal file.
+func (j *GridJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		return nil
+	}
+	err := j.w.Close()
+	j.w = nil
+	return err
+}
+
+// ResumeGrid completes a journaled online campaign: the sweep comes from
+// the header, journaled instances replay, and only missing ones run.
+// The result is bit-identical to an uninterrupted run (instances are
+// deterministic and canonically sorted).
+func ResumeGrid(ctx context.Context, path string, opt GridRunOptions) (*GridResult, error) {
+	header, _, _, err := readGridJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	g := header.Spec.Sweep()
+	j, err := OpenGridJournal(path, &g)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	opt.Journal = j
+	return RunGridContext(ctx, g, opt)
+}
+
+// LoadGridJournal loads a journal read-only into a (possibly partial)
+// result, without running anything.
+func LoadGridJournal(path string) (*GridResult, error) {
+	header, done, _, err := readGridJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	instances := make([]GridInstance, 0, len(done))
+	for _, inst := range done {
+		instances = append(instances, inst)
+	}
+	sortGridInstances(instances)
+	return &GridResult{Sweep: header.Spec.Sweep(), Instances: instances}, nil
+}

@@ -13,15 +13,18 @@ import (
 
 // ArtifactM returns the task count the numbered table artifact requires
 // (Tables I and III aggregate the m = 5 campaign, Table II the m = 10
-// one), or an error for an unknown table number.
+// one; the online Table IV has no m constraint and returns 0), or an
+// error for an unknown table number.
 func ArtifactM(table int) (int, error) {
 	switch table {
 	case 1, 3:
 		return 5, nil
 	case 2:
 		return 10, nil
+	case 4:
+		return 0, nil
 	default:
-		return 0, fmt.Errorf("exp: no Table %d in the paper (choose 1, 2 or 3)", table)
+		return 0, fmt.Errorf("exp: no Table %d (choose 1, 2, 3 or 4)", table)
 	}
 }
 
@@ -35,6 +38,19 @@ func RenderTableArtifact(r *Result, table int) (string, error) {
 	m, err := ArtifactM(table)
 	if err != nil {
 		return "", err
+	}
+	if table == 4 {
+		if r.Grid == nil {
+			return "", fmt.Errorf("exp: Table IV aggregates an online grid campaign; these results carry none")
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "\nTable IV — online grid: per-policy response, slowdown and deadline misses (heuristic: %s, model: %s)\n\n",
+			r.Grid.Sweep.Heuristic, r.Grid.Sweep.Model)
+		b.WriteString(FormatTableIV(r.Grid.TableIV()))
+		return b.String(), nil
+	}
+	if r.Grid != nil {
+		return "", fmt.Errorf("exp: Table %d aggregates an offline sweep; these results are an online grid campaign (Table 4)", table)
 	}
 	if r.Sweep.M != m {
 		return "", fmt.Errorf("exp: Table %d aggregates an m=%d campaign, results are m=%d", table, m, r.Sweep.M)

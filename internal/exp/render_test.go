@@ -11,8 +11,11 @@ import (
 // itself is covered by the aggregation tests; here we check the
 // artifact's framing, the m gate, and the error cases.
 func TestRenderTableArtifact(t *testing.T) {
-	if _, err := ArtifactM(4); err == nil || !strings.Contains(err.Error(), "no Table 4") {
-		t.Errorf("ArtifactM(4) = %v, want unknown-table error", err)
+	if _, err := ArtifactM(5); err == nil || !strings.Contains(err.Error(), "no Table 5") {
+		t.Errorf("ArtifactM(5) = %v, want unknown-table error", err)
+	}
+	if m, err := ArtifactM(4); err != nil || m != 0 {
+		t.Errorf("ArtifactM(4) = %d, %v, want the unconstrained online table", m, err)
 	}
 
 	sweep := Sweep{

@@ -202,10 +202,16 @@ type InstanceResult struct {
 	Failed    bool
 }
 
-// Result holds the raw outcomes of a campaign.
+// Result holds the raw outcomes of a campaign: offline sweeps fill
+// Sweep/Instances, online grid campaigns fill Grid. One result type
+// flows through the session, the daemon and the table renderer, so
+// Table IV serves from the same pipeline as Tables I–III.
 type Result struct {
 	Sweep     Sweep
 	Instances []InstanceResult
+	// Grid carries an online (Table IV) campaign's outcomes; nil for
+	// the paper's offline sweeps.
+	Grid *GridResult
 }
 
 // scenarioPlatform deterministically regenerates the platform of a point.

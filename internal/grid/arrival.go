@@ -1,0 +1,196 @@
+// Package grid is the online multi-application layer: where the paper
+// (and every layer below) schedules ONE tightly-coupled application to
+// completion, a grid serves a *stream* of applications arriving over
+// time and competing for the same volatile processors. The package
+// provides
+//
+//   - arrival processes — Poisson streams and recorded traces — that
+//     materialize deterministically from a trial seed, so online
+//     campaigns stay byte-identical across worker counts and resume;
+//   - an admission + preemption policy registry mirroring sched.Register
+//     (FCFS, SJF-by-wmin and deadline-aware EDF admission; no-preempt
+//     and preempt-lowest-priority eviction ship built in);
+//   - an online engine (Simulate) that carves exclusive processor
+//     blocks out of one shared availability realization and runs each
+//     admitted application through the existing sim engine;
+//   - per-application SLO metrics (response, slowdown, deadline misses)
+//     that exp aggregates into Table IV.
+//
+// The layers above consume it through exp.GridSweep / Session.RunOnline.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"tightsched/internal/rng"
+)
+
+// Arrival is one application's entry into the grid: when it arrives,
+// how heavy its tasks are, and how long it is willing to wait.
+type Arrival struct {
+	// T is the arrival slot.
+	T int64 `json:"t"`
+	// App labels the application in reports.
+	App string `json:"app"`
+	// Wmin is the application's minimum per-task speed: tasks carry
+	// Tprog = 5·Wmin program slots and Tdata = Wmin data slots, as in
+	// the paper's scenarios.
+	Wmin int `json:"wmin"`
+	// Deadline is the SLO in slots after T; 0 means no deadline.
+	Deadline int64 `json:"deadline"`
+}
+
+// Shape is the workload shape shared by every application in a grid
+// scenario; arrivals vary only wmin and deadline.
+type Shape struct {
+	// M is the number of coupled tasks per iteration.
+	M int
+	// Iterations is the number of iterations per application.
+	Iterations int
+	// AppProcs is the exclusive processor block granted per application.
+	AppProcs int
+	// Ncom is the per-application master communication capacity.
+	Ncom int
+}
+
+// Validate checks the shape parameters.
+func (s Shape) Validate() error {
+	if s.M <= 0 || s.Iterations <= 0 || s.AppProcs <= 0 || s.Ncom <= 0 {
+		return fmt.Errorf("grid: invalid shape %+v, want all positive", s)
+	}
+	return nil
+}
+
+// Bound returns a crude lower bound on an application's service time in
+// slots: the program download once, and per iteration the data messages
+// at full port parallelism plus the coupled compute with tasks spread
+// evenly over the block at the minimum conceivable speed. Real runs are
+// slower (volatility, integral task splits, scheduling), so
+// response/Bound is a pessimistic slowdown ≥ ~1; it is also the yard
+// stick deadline factors multiply.
+func (s Shape) Bound(wmin int) int64 {
+	data := ceilDiv(s.M*wmin, s.Ncom)
+	compute := wmin * ceilDiv(s.M, s.AppProcs)
+	return int64(5*wmin) + int64(s.Iterations)*int64(data+compute)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Arrival process kinds.
+const (
+	KindPoisson = "poisson"
+	KindTrace   = "trace"
+)
+
+// ArrivalSpec declares an arrival process. It is pure data — JSON-stable
+// for journal headers and daemon specs — and materializes into a
+// concrete arrival list from an rng stream, so the same spec and seed
+// produce the same stream everywhere.
+type ArrivalSpec struct {
+	// Kind selects the process: KindPoisson or KindTrace.
+	Kind string `json:"kind"`
+	// Label names the process in tables and journal keys; defaults to
+	// Kind. Sweeps with two processes of the same kind must label them.
+	Label string `json:"label,omitempty"`
+
+	// Poisson parameters: Apps arrivals with exponentially distributed
+	// inter-arrival gaps of mean MeanGap slots; per-task speed uniform
+	// on [WminLo, WminHi]; deadline = ceil(DeadlineFactor · Bound(wmin))
+	// after arrival (0 disables deadlines).
+	MeanGap        int64   `json:"meanGap,omitempty"`
+	Apps           int     `json:"apps,omitempty"`
+	WminLo         int     `json:"wminLo,omitempty"`
+	WminHi         int     `json:"wminHi,omitempty"`
+	DeadlineFactor float64 `json:"deadlineFactor,omitempty"`
+
+	// Trace replays a recorded arrival log (the JSONL {t, app, wmin,
+	// deadline} records of ParseTrace, or entries built directly).
+	Trace []Arrival `json:"trace,omitempty"`
+}
+
+// Name returns the process's sweep-axis label.
+func (a ArrivalSpec) Name() string {
+	if a.Label != "" {
+		return a.Label
+	}
+	return a.Kind
+}
+
+// Validate checks the spec.
+func (a ArrivalSpec) Validate() error {
+	switch a.Kind {
+	case KindPoisson:
+		if len(a.Trace) != 0 {
+			return fmt.Errorf("grid: arrival %q: poisson spec carries trace entries", a.Name())
+		}
+		if a.MeanGap <= 0 {
+			return fmt.Errorf("grid: arrival %q: meanGap %d, want positive", a.Name(), a.MeanGap)
+		}
+		if a.Apps <= 0 {
+			return fmt.Errorf("grid: arrival %q: apps %d, want positive", a.Name(), a.Apps)
+		}
+		if a.WminLo <= 0 || a.WminHi < a.WminLo {
+			return fmt.Errorf("grid: arrival %q: wmin range [%d, %d], want 0 < lo <= hi", a.Name(), a.WminLo, a.WminHi)
+		}
+		if a.DeadlineFactor < 0 {
+			return fmt.Errorf("grid: arrival %q: deadlineFactor %g, want >= 0", a.Name(), a.DeadlineFactor)
+		}
+	case KindTrace:
+		if len(a.Trace) == 0 {
+			return fmt.Errorf("grid: arrival %q: trace spec has no entries", a.Name())
+		}
+		if a.MeanGap != 0 || a.Apps != 0 || a.WminLo != 0 || a.WminHi != 0 || a.DeadlineFactor != 0 {
+			return fmt.Errorf("grid: arrival %q: trace spec carries poisson fields", a.Name())
+		}
+		prev := int64(0)
+		for i, e := range a.Trace {
+			if e.T < prev {
+				return fmt.Errorf("grid: arrival %q: trace[%d] t=%d before trace[%d] t=%d", a.Name(), i, e.T, i-1, prev)
+			}
+			prev = e.T
+			if e.App == "" {
+				return fmt.Errorf("grid: arrival %q: trace[%d] has no app name", a.Name(), i)
+			}
+			if e.Wmin <= 0 {
+				return fmt.Errorf("grid: arrival %q: trace[%d] wmin %d, want positive", a.Name(), i, e.Wmin)
+			}
+			if e.Deadline < 0 {
+				return fmt.Errorf("grid: arrival %q: trace[%d] deadline %d, want >= 0", a.Name(), i, e.Deadline)
+			}
+		}
+	case "":
+		return fmt.Errorf("grid: arrival spec has no kind")
+	default:
+		return fmt.Errorf("grid: unknown arrival kind %q (choose %s or %s)", a.Kind, KindPoisson, KindTrace)
+	}
+	return nil
+}
+
+// Materialize turns the spec into a concrete arrival list. Poisson
+// streams draw every gap, speed and deadline from stream (one seeded
+// stream per trial keeps campaigns byte-deterministic across worker
+// counts and resume); traces replay verbatim and consume nothing.
+func (a ArrivalSpec) Materialize(stream *rng.Stream, shape Shape) []Arrival {
+	if a.Kind == KindTrace {
+		return slices.Clone(a.Trace)
+	}
+	arrivals := make([]Arrival, 0, a.Apps)
+	t := int64(0)
+	for i := 0; i < a.Apps; i++ {
+		t += int64(math.Floor(-float64(a.MeanGap) * math.Log(1-stream.Float64())))
+		wmin := stream.IntRange(a.WminLo, a.WminHi)
+		var deadline int64
+		if a.DeadlineFactor > 0 {
+			deadline = int64(math.Ceil(a.DeadlineFactor * float64(shape.Bound(wmin))))
+		}
+		arrivals = append(arrivals, Arrival{
+			T:        t,
+			App:      fmt.Sprintf("%s-%03d", a.Name(), i),
+			Wmin:     wmin,
+			Deadline: deadline,
+		})
+	}
+	return arrivals
+}

@@ -1,0 +1,51 @@
+package grid
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ParseTrace parses a JSONL arrival trace: one {"t", "app", "wmin",
+// "deadline"} object per line, blank lines and #-comments skipped. The
+// returned entries are validated the way ArrivalSpec.Validate would
+// (non-decreasing t, positive wmin), so a parsed trace drops straight
+// into an ArrivalSpec.
+func ParseTrace(data []byte) ([]Arrival, error) {
+	var entries []Arrival
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 || raw[0] == '#' {
+			continue
+		}
+		var e Arrival
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("grid: trace line %d: %w", line, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("grid: trace: %w", err)
+	}
+	spec := ArrivalSpec{Kind: KindTrace, Trace: entries}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// LoadTrace reads and parses a JSONL arrival trace file.
+func LoadTrace(path string) ([]Arrival, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTrace(data)
+}

@@ -166,6 +166,67 @@ func GeneratePaper(cfg PaperConfig, stream *rng.Stream) *Platform {
 	return &Platform{Procs: procs, Ncom: cfg.Ncom}
 }
 
+// SpeedTier is one class of identical-speed processors in a tiered
+// heterogeneous grid.
+type SpeedTier struct {
+	// Count is the number of processors in the tier.
+	Count int `json:"count"`
+	// Speed is the tier's w_q (slots per task; smaller is faster).
+	Speed int `json:"speed"`
+}
+
+// TieredConfig describes a heterogeneous grid platform built from
+// explicit speed classes — the online-grid counterpart of PaperConfig's
+// uniform speed draw, with the speed profile under the experimenter's
+// control (e.g. a few fast dedicated hosts amid many slow desktops).
+type TieredConfig struct {
+	// Tiers lists the speed classes; the platform concatenates them in
+	// order, so processor indices are grouped by tier.
+	Tiers []SpeedTier
+	// Ncom is the master communication capacity.
+	Ncom int
+	// StayLo/StayHi bound the per-state self-loop probabilities, drawn
+	// per processor exactly as GeneratePaper draws them.
+	StayLo, StayHi float64
+}
+
+// GenerateTiered draws a heterogeneous platform: per processor, the
+// availability matrix is random within the stay bounds (one stream draw
+// sequence shared with GeneratePaper's idiom, so tiered platforms are as
+// reproducible as paper ones) while the speed is the tier's, exactly.
+// Capacities are unbounded.
+func GenerateTiered(cfg TieredConfig, stream *rng.Stream) *Platform {
+	total := 0
+	for _, tier := range cfg.Tiers {
+		if tier.Count <= 0 || tier.Speed <= 0 {
+			panic(fmt.Sprintf("platform: invalid speed tier %+v", tier))
+		}
+		total += tier.Count
+	}
+	if total == 0 || cfg.Ncom <= 0 {
+		panic(fmt.Sprintf("platform: invalid tiered config %+v", cfg))
+	}
+	if cfg.StayLo < 0 || cfg.StayHi > 1 || cfg.StayLo > cfg.StayHi {
+		panic(fmt.Sprintf("platform: invalid stay bounds %+v", cfg))
+	}
+	procs := make([]Processor, 0, total)
+	for _, tier := range cfg.Tiers {
+		for i := 0; i < tier.Count; i++ {
+			m := markov.PerState(
+				stream.Uniform(cfg.StayLo, cfg.StayHi),
+				stream.Uniform(cfg.StayLo, cfg.StayHi),
+				stream.Uniform(cfg.StayLo, cfg.StayHi),
+			)
+			procs = append(procs, Processor{
+				Speed:    tier.Speed,
+				Capacity: UnboundedCapacity,
+				Avail:    m,
+			})
+		}
+	}
+	return &Platform{Procs: procs, Ncom: cfg.Ncom}
+}
+
 // Homogeneous builds a platform of p identical processors, useful for
 // tests and for the off-line problem instances of Section IV (which assume
 // w_q = w).

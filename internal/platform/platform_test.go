@@ -192,3 +192,70 @@ func TestAvailModelOverride(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGenerateTieredShape(t *testing.T) {
+	cfg := TieredConfig{
+		Tiers:  []SpeedTier{{Count: 4, Speed: 1}, {Count: 2, Speed: 4}},
+		Ncom:   6,
+		StayLo: 0.90, StayHi: 0.99,
+	}
+	pl := GenerateTiered(cfg, rng.New(42))
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Size() != 6 || pl.Ncom != 6 {
+		t.Fatalf("size=%d ncom=%d", pl.Size(), pl.Ncom)
+	}
+	// Tiers concatenate in order: indices grouped, speeds exact.
+	for i, p := range pl.Procs {
+		want := 1
+		if i >= 4 {
+			want = 4
+		}
+		if p.Speed != want {
+			t.Fatalf("proc %d speed %d, want %d", i, p.Speed, want)
+		}
+		if p.Capacity != UnboundedCapacity {
+			t.Fatalf("proc %d capacity %d", i, p.Capacity)
+		}
+		for s := 0; s < markov.NumStates; s++ {
+			if stay := p.Avail[s][s]; stay < 0.90 || stay >= 0.99 {
+				t.Fatalf("proc %d state %d self-loop %v outside [0.90, 0.99)", i, s, stay)
+			}
+		}
+	}
+}
+
+func TestGenerateTieredDeterministic(t *testing.T) {
+	cfg := TieredConfig{Tiers: []SpeedTier{{Count: 3, Speed: 2}}, Ncom: 5, StayLo: 0.9, StayHi: 0.99}
+	a := GenerateTiered(cfg, rng.New(7))
+	b := GenerateTiered(cfg, rng.New(7))
+	for i := range a.Procs {
+		if a.Procs[i] != b.Procs[i] {
+			t.Fatalf("generation not deterministic at proc %d", i)
+		}
+	}
+}
+
+func TestGenerateTieredPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  TieredConfig
+	}{
+		{"no tiers", TieredConfig{Ncom: 5, StayLo: 0.9, StayHi: 0.99}},
+		{"zero count", TieredConfig{Tiers: []SpeedTier{{Count: 0, Speed: 1}}, Ncom: 5, StayLo: 0.9, StayHi: 0.99}},
+		{"zero speed", TieredConfig{Tiers: []SpeedTier{{Count: 2, Speed: 0}}, Ncom: 5, StayLo: 0.9, StayHi: 0.99}},
+		{"no ncom", TieredConfig{Tiers: []SpeedTier{{Count: 2, Speed: 1}}, StayLo: 0.9, StayHi: 0.99}},
+		{"inverted stay bounds", TieredConfig{Tiers: []SpeedTier{{Count: 2, Speed: 1}}, Ncom: 5, StayLo: 0.99, StayHi: 0.9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			GenerateTiered(tc.cfg, rng.New(1))
+		})
+	}
+}

@@ -122,8 +122,12 @@ type Status struct {
 	Progress    Counters `json:"progress"`
 	Points      Counters `json:"points"`
 	// Spec is the campaign's resolved identity — the same document
-	// stamped into its journal header.
-	Spec    tightsched.SweepSpec        `json:"spec"`
+	// stamped into its journal header (zero for online grid campaigns,
+	// whose identity is Grid).
+	Spec tightsched.SweepSpec `json:"spec"`
+	// Grid is an online grid campaign's resolved identity — the grid
+	// journal header's spec (absent for offline sweeps).
+	Grid    *tightsched.OnlineSpec      `json:"grid,omitempty"`
 	Advance string                      `json:"advance"`
 	Shard   string                      `json:"shard,omitempty"`
 	Journal string                      `json:"journal,omitempty"`
@@ -152,6 +156,7 @@ func (c *Campaign) Status(now time.Time) Status {
 		Progress:  Counters{c.completed, c.total},
 		Points:    Counters{c.completedPoints, c.totalPoints},
 		Spec:      c.Spec.Stamped,
+		Grid:      c.Spec.GridStamped,
 		Advance:   c.Spec.Sweep.Advance.String(),
 		Journal:   c.journalPath,
 		Error:     c.errMsg,

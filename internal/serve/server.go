@@ -71,7 +71,21 @@ type serverMetrics struct {
 	decisionMisses     atomic.Uint64
 	sseSubscribed      atomic.Uint64
 	sseDropped         atomic.Uint64
+	// Online grid live telemetry, summed across running grid campaigns:
+	// admission-queue depth, running applications, and deadline misses.
+	gridQueueDepth     atomic.Int64
+	gridRunning        atomic.Int64
+	gridDeadlineMisses atomic.Uint64
 }
+
+// gridTelemetry adapts the daemon metrics to the online engine's
+// telemetry hook (tightsched.GridTelemetry): the grid event loops call
+// these from inside running simulations.
+type gridTelemetry struct{ m *serverMetrics }
+
+func (t gridTelemetry) GridQueued(delta int)  { t.m.gridQueueDepth.Add(int64(delta)) }
+func (t gridTelemetry) GridRunning(delta int) { t.m.gridRunning.Add(int64(delta)) }
+func (t gridTelemetry) GridDeadlineMiss()     { t.m.gridDeadlineMisses.Add(1) }
 
 // NewServer builds a Server and its data directory.
 func NewServer(cfg Config) (*Server, error) {
@@ -125,7 +139,7 @@ func (s *Server) Close() {
 //	GET    /v1/campaigns/{id}         one campaign's status
 //	DELETE /v1/campaigns/{id}         cancel (journal stays resumable)
 //	GET    /v1/campaigns/{id}/events  live SSE event stream
-//	GET    /v1/campaigns/{id}/tables/{table}   Table I/II/III artifact
+//	GET    /v1/campaigns/{id}/tables/{table}   Table I/II/III/IV artifact
 //	GET    /v1/heuristics             registered heuristic names
 //	GET    /v1/models                 registered availability models
 //	GET    /healthz                   liveness probe
@@ -179,6 +193,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.Sweep.Workers == 0 && s.cfg.Workers > 0 {
 		spec.Sweep.Workers = s.cfg.Workers
 	}
+	if spec.Grid != nil && spec.Grid.Workers == 0 && s.cfg.Workers > 0 {
+		spec.Grid.Workers = s.cfg.Workers
+	}
 	if spec.Cluster != nil && s.cfg.DataDir == "" {
 		writeError(w, http.StatusBadRequest, "run.cluster",
 			"cluster execution needs a durable journal, but this daemon has no data directory")
@@ -214,9 +231,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	if spec.Cluster != nil {
+	switch {
+	case spec.Cluster != nil:
 		go s.runClusterCampaign(ctx, c)
-	} else {
+	case spec.Grid != nil:
+		go s.runGridCampaign(ctx, c)
+	default:
 		go s.runCampaign(ctx, c)
 	}
 	writeJSON(w, http.StatusAccepted, c.Status(time.Now().UTC()))
@@ -259,6 +279,54 @@ func (s *Server) runCampaign(ctx context.Context, c *Campaign) {
 
 	session := tightsched.NewSession()
 	res, err := session.RunSweep(ctx, c.Spec.Sweep, opts...)
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	c.finish(ctx, err, res, time.Now().UTC())
+}
+
+// runGridCampaign executes one online grid campaign on the runner pool:
+// the grid-journal mirror of runCampaign, with progress forwarded to the
+// SSE broadcaster and live engine telemetry feeding the daemon's
+// tightsched_grid_* metric families.
+func (s *Server) runGridCampaign(ctx context.Context, c *Campaign) {
+	defer s.wg.Done()
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	case <-ctx.Done():
+		c.finish(ctx, ctx.Err(), nil, time.Now().UTC())
+		return
+	}
+	if ctx.Err() != nil {
+		c.finish(ctx, ctx.Err(), nil, time.Now().UTC())
+		return
+	}
+	c.markRunning(time.Now().UTC())
+
+	g := *c.Spec.Grid
+	obs := observer{c}
+	opts := []tightsched.Option{
+		tightsched.WithProgress(func(done, total int) {
+			obs.OnProgress(tightsched.Progress{Completed: done, Total: total})
+		}),
+		tightsched.WithGridTelemetry(gridTelemetry{&s.metrics}),
+	}
+	var journal *tightsched.OnlineJournal
+	if c.journalPath != "" {
+		var err error
+		journal, err = tightsched.CreateOnlineJournal(c.journalPath, g)
+		if err != nil {
+			c.finish(ctx, err, nil, time.Now().UTC())
+			return
+		}
+		opts = append(opts, tightsched.WithOnlineJournal(journal))
+	}
+
+	session := tightsched.NewSession()
+	res, err := session.RunOnline(ctx, g, opts...)
 	if journal != nil {
 		if cerr := journal.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -359,8 +427,8 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	table, err := strconv.Atoi(r.PathValue("table"))
-	if err != nil || table < 1 || table > 3 {
-		writeError(w, http.StatusNotFound, "", fmt.Sprintf("no table %q (tables are 1, 2 and 3)", r.PathValue("table")))
+	if err != nil || table < 1 || table > 4 {
+		writeError(w, http.StatusNotFound, "", fmt.Sprintf("no table %q (tables are 1, 2, 3 and 4)", r.PathValue("table")))
 		return
 	}
 	res := c.Result()
@@ -546,6 +614,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "tightsched_cache_lookups_total{cache=\"memo\",outcome=\"miss\"} %d\n", s.metrics.memoMisses.Load())
 	fmt.Fprintf(w, "tightsched_cache_lookups_total{cache=\"decision\",outcome=\"hit\"} %d\n", s.metrics.decisionHits.Load())
 	fmt.Fprintf(w, "tightsched_cache_lookups_total{cache=\"decision\",outcome=\"miss\"} %d\n", s.metrics.decisionMisses.Load())
+	fmt.Fprintf(w, "# HELP tightsched_grid_queue_depth Applications waiting for admission across running online grid campaigns.\n")
+	fmt.Fprintf(w, "# TYPE tightsched_grid_queue_depth gauge\n")
+	fmt.Fprintf(w, "tightsched_grid_queue_depth %d\n", s.metrics.gridQueueDepth.Load())
+	fmt.Fprintf(w, "# HELP tightsched_grid_running_apps Applications currently holding processor blocks across running online grid campaigns.\n")
+	fmt.Fprintf(w, "# TYPE tightsched_grid_running_apps gauge\n")
+	fmt.Fprintf(w, "tightsched_grid_running_apps %d\n", s.metrics.gridRunning.Load())
+	fmt.Fprintf(w, "# HELP tightsched_grid_deadline_misses_total Applications finished past their deadline (or never finished) in online grid campaigns.\n")
+	fmt.Fprintf(w, "# TYPE tightsched_grid_deadline_misses_total counter\n")
+	fmt.Fprintf(w, "tightsched_grid_deadline_misses_total %d\n", s.metrics.gridDeadlineMisses.Load())
 	fmt.Fprintf(w, "# HELP tightsched_sse_subscriptions_total SSE subscriptions accepted.\n")
 	fmt.Fprintf(w, "# TYPE tightsched_sse_subscriptions_total counter\n")
 	fmt.Fprintf(w, "tightsched_sse_subscriptions_total %d\n", s.metrics.sseSubscribed.Load())

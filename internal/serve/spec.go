@@ -69,6 +69,13 @@ type Spec struct {
 	// with crash-tolerant leases (run.cluster block) instead of the
 	// in-process runner pool.
 	Cluster *ClusterSpec
+	// Grid, when set, is a runnable online multi-application campaign
+	// (grid block, mutually exclusive with sweep); Sweep is then zero and
+	// the campaign runs through Session.RunOnline.
+	Grid *tightsched.OnlineSweep
+	// GridStamped is Grid's resolved serialized identity — the grid
+	// journal header's spec.
+	GridStamped *tightsched.OnlineSpec
 }
 
 // specDocument is the raw v1 document shape, named here only for
@@ -102,6 +109,11 @@ type Spec struct {
 //	    leaseTtl: 15s          # lease expiry without a heartbeat
 //	    gcInterval: 5s         # expired-lease sweep cadence
 //	    reshard: true          # split requeued units in half
+//
+// An online multi-application campaign replaces the sweep block with a
+// grid block (see gridspec.go for its schema); the two are mutually
+// exclusive, and only run.workers and run.journal of the runtime knobs
+// apply to grid campaigns.
 //
 // DecodeSpec parses, validates and defaults a campaign spec. contentType
 // selects the format ("application/json", "application/yaml" or
@@ -156,7 +168,7 @@ func specFromTree(tree any) (*Spec, *SpecError) {
 	if !ok {
 		return nil, specErr("", "spec document must be a mapping")
 	}
-	if serr := rejectUnknown(root, "", "version", "name", "preset", "sweep", "run"); serr != nil {
+	if serr := rejectUnknown(root, "", "version", "name", "preset", "sweep", "grid", "run"); serr != nil {
 		return nil, serr
 	}
 
@@ -184,10 +196,46 @@ func specFromTree(tree any) (*Spec, *SpecError) {
 		return nil, specErr("preset", "unknown preset %q (choose quick or full, or omit)", spec.Preset)
 	}
 
-	sweepTree, ok := root["sweep"]
-	if !ok || sweepTree == nil {
-		return nil, specErr("sweep", "required block (campaign dimensions)")
+	sweepTree, hasSweep := root["sweep"]
+	gridTree, hasGrid := root["grid"]
+	hasSweep = hasSweep && sweepTree != nil
+	hasGrid = hasGrid && gridTree != nil
+	if hasSweep && hasGrid {
+		return nil, specErr("grid", "mutually exclusive with sweep (a campaign is offline or online, not both)")
 	}
+	if !hasSweep && !hasGrid {
+		return nil, specErr("sweep", "required block (campaign dimensions; or a grid block for an online campaign)")
+	}
+
+	if hasGrid {
+		gridMap, ok := gridTree.(map[string]any)
+		if !ok {
+			return nil, specErr("grid", "must be a mapping")
+		}
+		g, serr := gridFromTree(gridMap, spec.Preset)
+		if serr != nil {
+			return nil, serr
+		}
+		spec.Grid = &g
+		if runTree, ok := root["run"]; ok && runTree != nil {
+			runMap, ok := runTree.(map[string]any)
+			if !ok {
+				return nil, specErr("run", "must be a mapping")
+			}
+			rt, serr := runFromTree(runMap, spec)
+			if serr != nil {
+				return nil, serr
+			}
+			g.Workers = rt.Workers
+		}
+		if err := g.Validate(); err != nil {
+			return nil, &SpecError{Path: "grid", Message: err.Error()}
+		}
+		stamped := g.Spec()
+		spec.GridStamped = &stamped
+		return spec, nil
+	}
+
 	sweepMap, ok := sweepTree.(map[string]any)
 	if !ok {
 		return nil, specErr("sweep", "must be a mapping")
@@ -342,6 +390,15 @@ func runFromTree(m map[string]any, spec *Spec) (tightsched.SweepRuntime, *SpecEr
 	var rt tightsched.SweepRuntime
 	if serr := rejectUnknown(m, "run.", "advance", "maxLeap", "workers", "journal", "shard", "cluster"); serr != nil {
 		return rt, serr
+	}
+	if spec.Grid != nil {
+		// The online engine has no batched core, shardable instance grid
+		// or cluster lease decomposition; refusing beats silently ignoring.
+		for _, key := range []string{"advance", "maxLeap", "shard", "cluster"} {
+			if _, ok := m[key]; ok {
+				return rt, specErr("run."+key, "does not apply to an online grid campaign")
+			}
+		}
 	}
 	if v, present, serr := stringField(m, "advance", "run.advance"); serr != nil {
 		return rt, serr

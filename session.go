@@ -95,6 +95,8 @@ const (
 	scopeRunSweep
 	scopeStream
 	scopeResumeSweep
+	scopeRunOnline
+	scopeResumeOnline
 
 	// scopeRun options configure single simulations (Run and Compare).
 	scopeRun = scopeSessionRun | scopeCompare
@@ -104,6 +106,9 @@ const (
 	// scopeExec options configure campaign execution; ResumeSweep is
 	// excluded from journal/shard selection — both come from the file.
 	scopeExec = scopeRunSweep | scopeStream
+	// scopeOnline options configure online grid campaigns (RunOnline and
+	// ResumeOnline).
+	scopeOnline = scopeRunOnline | scopeResumeOnline
 )
 
 // appliedOption records one applied option for scope checking.
@@ -122,6 +127,12 @@ type sessionConfig struct {
 	sink     func(SweepInstance) error
 	observer Observer
 	discard  bool
+	// Online grid overrides (RunOnline / ResumeOnline).
+	arrivals      []OnlineArrival
+	admissions    []string
+	preemptions   []string
+	gridJournal   *OnlineJournal
+	gridTelemetry GridTelemetry
 	// err records the first invalid option value (e.g. an out-of-range
 	// WithTimeAdvance); check surfaces it before any entry point runs.
 	err error
@@ -227,10 +238,10 @@ func WithCustomHeuristic(h Heuristic) Option {
 
 // WithWorkers bounds the parallel simulations of a campaign (NumCPU when
 // unset). It overrides the sweep's own Workers field when positive, and
-// is the only way to bound a ResumeSweep, whose sweep is rebuilt from
-// the journal spec.
+// is the only way to bound a ResumeSweep or ResumeOnline, whose sweep is
+// rebuilt from the journal spec.
 func WithWorkers(n int) Option {
-	return scoped("WithWorkers", scopeExec|scopeResumeSweep, func(c *sessionConfig) { c.workers = n })
+	return scoped("WithWorkers", scopeExec|scopeResumeSweep|scopeOnline, func(c *sessionConfig) { c.workers = n })
 }
 
 // WithJournal streams every completed campaign instance to the journal
@@ -248,10 +259,10 @@ func WithShard(sh SweepShard) Option {
 }
 
 // WithProgress registers a (completed, total) progress callback for
-// RunSweep and ResumeSweep; on a Stream, consume the Progress events
-// instead.
+// RunSweep, ResumeSweep, RunOnline and ResumeOnline; on a Stream,
+// consume the Progress events instead.
 func WithProgress(f func(done, total int)) Option {
-	return scoped("WithProgress", scopeConsume, func(c *sessionConfig) { c.progress = f })
+	return scoped("WithProgress", scopeConsume|scopeOnline, func(c *sessionConfig) { c.progress = f })
 }
 
 // WithObserver registers a typed campaign-event observer for RunSweep
@@ -274,6 +285,46 @@ func WithSink(f func(SweepInstance) error) Option {
 // discard).
 func WithDiscardInstances() Option {
 	return scoped("WithDiscardInstances", scopeConsume, func(c *sessionConfig) { c.discard = true })
+}
+
+// WithArrivals replaces an online campaign's arrival axis for one
+// RunOnline call — a Session-level way to point the preset campaigns at
+// a recorded trace (LoadOnlineTrace) or a differently tuned Poisson
+// stream without rebuilding the OnlineSweep by hand. ResumeOnline reads
+// the arrival axis from the journal header.
+func WithArrivals(specs ...OnlineArrival) Option {
+	return scoped("WithArrivals", scopeRunOnline, func(c *sessionConfig) { c.arrivals = specs })
+}
+
+// WithAdmission replaces an online campaign's admission-policy axis for
+// one RunOnline call. Names resolve through the open policy registry
+// (AdmissionPolicies lists them); ResumeOnline reads the axis from the
+// journal header.
+func WithAdmission(names ...string) Option {
+	return scoped("WithAdmission", scopeRunOnline, func(c *sessionConfig) { c.admissions = names })
+}
+
+// WithPreemption replaces an online campaign's preemption-policy axis
+// for one RunOnline call. Names resolve through the open policy registry
+// (PreemptionPolicies lists them); ResumeOnline reads the axis from the
+// journal header.
+func WithPreemption(names ...string) Option {
+	return scoped("WithPreemption", scopeRunOnline, func(c *sessionConfig) { c.preemptions = names })
+}
+
+// WithOnlineJournal streams every completed online instance to the grid
+// journal and skips instances it already holds. It applies to RunOnline;
+// ResumeOnline opens the journal from its path itself.
+func WithOnlineJournal(j *OnlineJournal) Option {
+	return scoped("WithOnlineJournal", scopeRunOnline, func(c *sessionConfig) { c.gridJournal = j })
+}
+
+// WithGridTelemetry registers live gauge/counter callbacks (queue depth,
+// running applications, deadline misses) invoked from inside the online
+// event loops of RunOnline and ResumeOnline — the hook the service
+// daemon's /metrics families hang off.
+func WithGridTelemetry(t GridTelemetry) Option {
+	return scoped("WithGridTelemetry", scopeOnline, func(c *sessionConfig) { c.gridTelemetry = t })
 }
 
 // ParseTimeAdvance maps the flag/spec spelling of a time-advance core
@@ -481,4 +532,63 @@ func (s *Session) ResumeSweep(ctx context.Context, journalPath string, opts ...O
 		return nil, err
 	}
 	return exp.ResumeWith(ctx, journalPath, c.sweepOptions())
+}
+
+// gridOptions maps the resolved config onto the online campaign harness.
+func (c *sessionConfig) gridOptions() exp.GridRunOptions {
+	return exp.GridRunOptions{
+		Workers:   c.workers,
+		Journal:   c.gridJournal,
+		Progress:  c.progress,
+		Telemetry: c.gridTelemetry,
+	}
+}
+
+// RunOnline executes an online multi-application campaign — arrival
+// streams feeding admission and preemption policies on a shared
+// heterogeneous grid — and returns its per-instance SLO metrics as a
+// SweepResult whose Grid field carries the online aggregation
+// (SweepResult.Grid.TableIV, RenderTableArtifact table 4). The
+// WithArrivals/WithAdmission/WithPreemption options override the
+// corresponding campaign axes; WithOnlineJournal streams completed
+// instances for crash-tolerant resume via ResumeOnline. Cancellation
+// stops the worker pool at instance boundaries, journals everything
+// completed so far, and returns the context's error.
+func (s *Session) RunOnline(ctx context.Context, g OnlineSweep, opts ...Option) (*SweepResult, error) {
+	c := s.config(opts)
+	if err := c.check(scopeRunOnline, "Session.RunOnline"); err != nil {
+		return nil, err
+	}
+	if c.arrivals != nil {
+		g.Arrivals = c.arrivals
+	}
+	if c.admissions != nil {
+		g.Admissions = c.admissions
+	}
+	if c.preemptions != nil {
+		g.Preemptions = c.preemptions
+	}
+	gr, err := exp.RunGridContext(ctx, g, c.gridOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{Grid: gr}, nil
+}
+
+// ResumeOnline continues an interrupted journaled online campaign from
+// its file alone, re-running only unrecorded instances; the result is
+// bit-identical to an uninterrupted run's. The campaign axes come from
+// the journal header (WithArrivals/WithAdmission/WithPreemption and
+// WithOnlineJournal do not apply); WithWorkers, WithProgress and
+// WithGridTelemetry do.
+func (s *Session) ResumeOnline(ctx context.Context, journalPath string, opts ...Option) (*SweepResult, error) {
+	c := s.config(opts)
+	if err := c.check(scopeResumeOnline, "Session.ResumeOnline"); err != nil {
+		return nil, err
+	}
+	gr, err := exp.ResumeGrid(ctx, journalPath, c.gridOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{Grid: gr}, nil
 }

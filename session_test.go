@@ -682,3 +682,123 @@ func TestSessionTimeAdvanceValidation(t *testing.T) {
 		t.Fatalf("solo batch result %+v != leap %+v", batch, leap)
 	}
 }
+
+// onlineSessionSweep shrinks the quick online campaign to test scale:
+// one arrival process, two policies per axis, a single short trial.
+func onlineSessionSweep() tightsched.OnlineSweep {
+	g := tightsched.QuickOnlineSweep()
+	g.Horizon = 5_000
+	g.Trials = 1
+	g.Arrivals = []tightsched.OnlineArrival{g.Arrivals[1]} // the recorded trace
+	g.Admissions = []string{"fcfs", "edf"}
+	g.Preemptions = []string{"none"}
+	return g
+}
+
+// TestSessionOnlineOptionScope extends the scope contract to the online
+// entry points: offline entry points reject the online axis overrides,
+// RunOnline rejects simulation/offline-campaign options, and
+// ResumeOnline rejects the identity-changing overrides a journal has
+// already pinned.
+func TestSessionOnlineOptionScope(t *testing.T) {
+	ctx := context.Background()
+	sc := tightsched.PaperScenario(5, 10, 2, 42)
+	session := tightsched.NewSession()
+
+	if _, err := session.Run(ctx, sc, "IE", tightsched.WithAdmission("fcfs")); err == nil ||
+		!strings.Contains(err.Error(), "WithAdmission") {
+		t.Fatalf("Run scope error = %v, want a WithAdmission complaint", err)
+	}
+	if _, err := session.RunSweep(ctx, sessionSweep(5, []string{"IE"}), tightsched.WithArrivals()); err == nil ||
+		!strings.Contains(err.Error(), "WithArrivals") {
+		t.Fatalf("RunSweep scope error = %v, want a WithArrivals complaint", err)
+	}
+	if _, err := session.RunOnline(ctx, onlineSessionSweep(), tightsched.WithCap(1)); err == nil ||
+		!strings.Contains(err.Error(), "WithCap") {
+		t.Fatalf("RunOnline scope error = %v, want a WithCap complaint", err)
+	}
+	if _, err := session.RunOnline(ctx, onlineSessionSweep(), tightsched.WithRecorder(&tightsched.Recorder{})); err == nil ||
+		!strings.Contains(err.Error(), "WithRecorder") {
+		t.Fatalf("RunOnline scope error = %v, want a WithRecorder complaint", err)
+	}
+	if _, err := session.ResumeOnline(ctx, "/nonexistent", tightsched.WithPreemption("none")); err == nil ||
+		!strings.Contains(err.Error(), "WithPreemption") {
+		t.Fatalf("ResumeOnline scope error = %v, want a WithPreemption complaint", err)
+	}
+}
+
+// TestSessionRunOnline exercises the online entry point end to end: the
+// axis overrides replace the campaign's axes, progress fires per
+// instance, and cancel + ResumeOnline reproduces the uninterrupted
+// bytes (the CLI -resume path in library form).
+func TestSessionRunOnline(t *testing.T) {
+	ctx := context.Background()
+	g := onlineSessionSweep()
+	session := tightsched.NewSession()
+
+	var progress [][2]int
+	res, err := session.RunOnline(ctx, g,
+		tightsched.WithAdmission("sjf"),
+		tightsched.WithPreemption("none", "lowest-priority"),
+		tightsched.WithProgress(func(done, total int) { progress = append(progress, [2]int{done, total}) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid.Instances) != 2 { // 1 arrival x 1 admission x 2 preemptions x 1 trial
+		t.Fatalf("override campaign produced %d instances, want 2", len(res.Grid.Instances))
+	}
+	for _, in := range res.Grid.Instances {
+		if in.Admission != "sjf" {
+			t.Fatalf("instance ran admission %q, want the sjf override", in.Admission)
+		}
+	}
+	if len(progress) == 0 || progress[len(progress)-1] != [2]int{2, 2} {
+		t.Fatalf("progress events = %v, want a final 2/2", progress)
+	}
+	want, err := tightsched.RenderTableArtifact(res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Journal + cancel mid-campaign, then resume byte-identically.
+	path := filepath.Join(t.TempDir(), "grid.journal")
+	j, err := tightsched.CreateOnlineJournal(path, onlineGridFromResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	_, err = session.RunOnline(cctx, onlineGridFromResult(res),
+		tightsched.WithOnlineJournal(j),
+		tightsched.WithWorkers(1),
+		tightsched.WithProgress(func(done, total int) {
+			if done >= 1 {
+				cancel()
+			}
+		}),
+	)
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunOnline returned %v, want context.Canceled", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := session.ResumeOnline(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tightsched.RenderTableArtifact(resumed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("resumed Table IV differs:\n--- resumed ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// onlineGridFromResult rebuilds the exact campaign a result ran — the
+// sweep with the axis overrides applied — for journaling it again.
+func onlineGridFromResult(res *tightsched.SweepResult) tightsched.OnlineSweep {
+	return res.Grid.Sweep
+}

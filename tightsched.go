@@ -48,6 +48,7 @@ import (
 	"tightsched/internal/avail"
 	"tightsched/internal/core"
 	"tightsched/internal/exp"
+	"tightsched/internal/grid"
 	"tightsched/internal/markov"
 	"tightsched/internal/platform"
 	"tightsched/internal/sched"
@@ -321,14 +322,121 @@ type (
 	SweepSeriesPoint = exp.SeriesPoint
 )
 
+// Online multi-application grid types (Session.RunOnline): arrival
+// streams feed admission and preemption policies sharing one
+// heterogeneous volatile platform, and per-application SLO metrics
+// aggregate into Table IV.
+type (
+	// OnlineSweep describes an online campaign: the platform's speed
+	// tiers, the per-application workload shape, and the arrival ×
+	// admission × preemption × trial axes.
+	OnlineSweep = exp.GridSweep
+	// OnlineSpec is an OnlineSweep's JSON-serializable identity, as
+	// stamped in grid journal headers.
+	OnlineSpec = exp.GridSpec
+	// OnlineArrival declares one arrival process: a seeded Poisson
+	// stream or an inline recorded trace.
+	OnlineArrival = grid.ArrivalSpec
+	// OnlineEntry is one application arrival (trace entry or
+	// materialized stream element).
+	OnlineEntry = grid.Arrival
+	// OnlineInstance is one (arrival, admission, preemption, trial)
+	// outcome — what a grid journal records.
+	OnlineInstance = exp.GridInstance
+	// OnlineKey is an online instance's unique campaign coordinate.
+	OnlineKey = exp.GridKey
+	// OnlineResult holds an online campaign's raw per-instance results
+	// (SweepResult.Grid); TableIV aggregates them.
+	OnlineResult = exp.GridResult
+	// OnlineJournal is the append-only on-disk record of an online
+	// campaign's completed instances — the unit of resume.
+	OnlineJournal = exp.GridJournal
+	// OnlineAppReport is one application's full online outcome
+	// (response, slowdown, deadline verdict, preemption count).
+	OnlineAppReport = grid.AppReport
+	// TableIVRow is one aggregated line of Table IV.
+	TableIVRow = exp.TableIVRow
+	// AdmissionPolicy orders the admission queue of an online grid;
+	// implement and register one via RegisterAdmissionPolicy.
+	AdmissionPolicy = grid.AdmissionPolicy
+	// PreemptionPolicy picks eviction victims for queued applications;
+	// implement and register one via RegisterPreemptionPolicy.
+	PreemptionPolicy = grid.PreemptionPolicy
+	// GridTelemetry receives live queue/running/deadline-miss updates
+	// from inside online event loops (WithGridTelemetry).
+	GridTelemetry = grid.Telemetry
+	// OnlineSpeedTier is one class of identical-speed processors in an
+	// online campaign's heterogeneous platform.
+	OnlineSpeedTier = platform.SpeedTier
+)
+
+// RegisterAdmissionPolicy makes an admission policy usable by name in
+// online campaign axes, the command-line tools and the service daemon —
+// and, because grid journal headers record policies by name, in headless
+// ResumeOnline of campaigns that used it. Names appear in
+// AdmissionPolicies.
+func RegisterAdmissionPolicy(name string, f func() AdmissionPolicy) error {
+	return grid.RegisterAdmission(name, f)
+}
+
+// RegisterPreemptionPolicy is RegisterAdmissionPolicy's preemption
+// counterpart; names appear in PreemptionPolicies.
+func RegisterPreemptionPolicy(name string, f func() PreemptionPolicy) error {
+	return grid.RegisterPreemption(name, f)
+}
+
+// AdmissionPolicies returns the names of every registered admission
+// policy — the built-ins (fcfs, sjf, edf) plus anything plugged in
+// through RegisterAdmissionPolicy — sorted. The slice is a defensive
+// copy; mutating it cannot corrupt the registry.
+func AdmissionPolicies() []string { return grid.AdmissionNames() }
+
+// PreemptionPolicies returns the names of every registered preemption
+// policy — the built-ins (none, lowest-priority) plus anything plugged
+// in through RegisterPreemptionPolicy — sorted. The slice is a defensive
+// copy.
+func PreemptionPolicies() []string { return grid.PreemptionNames() }
+
+// PaperOnlineSweep returns the full online campaign: both arrival kinds,
+// all built-in policies, five trials over a 100k-slot horizon.
+func PaperOnlineSweep() OnlineSweep { return exp.PaperOnlineSweep() }
+
+// QuickOnlineSweep returns a reduced online campaign preserving the full
+// campaign's shape — the one behind `cmd/tables -table 4` and the
+// daemon's quick grid preset.
+func QuickOnlineSweep() OnlineSweep { return exp.QuickOnlineSweep() }
+
+// ParseOnlineTrace parses a JSONL arrival trace (one
+// {"t":..,"app":..,"wmin":..,"deadline":..} object per line; blank lines
+// and #-comments skipped) into the entries of a trace OnlineArrival.
+func ParseOnlineTrace(data []byte) ([]OnlineEntry, error) { return grid.ParseTrace(data) }
+
+// LoadOnlineTrace reads a JSONL arrival trace file (see ParseOnlineTrace).
+func LoadOnlineTrace(path string) ([]OnlineEntry, error) { return grid.LoadTrace(path) }
+
+// CreateOnlineJournal starts a new journal for the online campaign,
+// refusing to clobber an existing file.
+func CreateOnlineJournal(path string, g OnlineSweep) (*OnlineJournal, error) {
+	return exp.CreateGridJournal(path, &g)
+}
+
+// OpenOnlineJournal reopens an existing grid journal for appending,
+// verifying it belongs to the campaign and dropping a crash-torn tail.
+func OpenOnlineJournal(path string, g OnlineSweep) (*OnlineJournal, error) {
+	return exp.OpenGridJournal(path, &g)
+}
+
+// FormatTableIV renders aggregated online rows in the Table IV layout.
+func FormatTableIV(rows []TableIVRow) string { return exp.FormatTableIV(rows) }
+
 // FormatTable renders aggregated rows in the paper's table layout.
 func FormatTable(rows []TableRow) string { return exp.FormatTable(rows) }
 
 // RenderTableArtifact renders a completed campaign as the numbered table
-// artifact (1, 2 or the cross-model 3): title line, aggregated rows, and
-// (for Tables I/II) the robustness observation — exactly the bytes
-// cmd/tables prints after its "# ..." preamble and the service daemon
-// serves from GET /v1/campaigns/{id}/tables/{n}.
+// artifact (1, 2, the cross-model 3, or the online-grid 4): title line,
+// aggregated rows, and (for Tables I/II) the robustness observation —
+// exactly the bytes cmd/tables prints after its "# ..." preamble and the
+// service daemon serves from GET /v1/campaigns/{id}/tables/{n}.
 func RenderTableArtifact(res *SweepResult, table int) (string, error) {
 	return exp.RenderTableArtifact(res, table)
 }
