@@ -11,6 +11,7 @@ package tightsched_test
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 
 	"tightsched"
@@ -733,3 +734,107 @@ func BenchmarkArrivalStream(b *testing.B) {
 		}
 	}
 }
+
+// ---- journal codec benches -------------------------------------------------
+
+// journalBenchSweep is a wide campaign shape — 100,000 instances — whose
+// journal the codec benches write and replay. The instances themselves
+// are synthesized (no simulation): these benches isolate codec and
+// aggregation throughput.
+func journalBenchSweep() exp.Sweep {
+	s := miniSweep(10)
+	s.Scenarios = 2500
+	s.Trials = 10
+	s.Heuristics = []string{"IE", "Y-IE", "RANDOM", "IAY"}
+	return s
+}
+
+// synthInstance derives a deterministic outcome for one campaign
+// coordinate: varied makespans, an occasional failure at the cap.
+func synthInstance(c exp.Coord, h string, i int) exp.InstanceResult {
+	inst := exp.InstanceResult{Point: c.Point, Trial: c.Trial, Model: c.Model, Heuristic: h}
+	if i%97 == 0 {
+		inst.Failed = true
+		inst.Makespan = 50_000
+	} else {
+		inst.Makespan = int64(1_000 + (i*37)%9_000)
+	}
+	return inst
+}
+
+// buildBenchJournal writes the full synthetic campaign journal in the
+// given format and returns its path and instance count.
+func buildBenchJournal(b *testing.B, format exp.Format) (string, int) {
+	b.Helper()
+	s := journalBenchSweep()
+	path := filepath.Join(b.TempDir(), "bench."+format.String())
+	j, err := exp.CreateJournalFormat(path, s, exp.Shard{}, format)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 0
+	for _, c := range s.Coords() {
+		for _, h := range s.Heuristics {
+			if err := j.Append(synthInstance(c, h, n)); err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path, n
+}
+
+// benchJournalAppend measures one journal record append (encode + flushed
+// write) per op.
+func benchJournalAppend(b *testing.B, format exp.Format) {
+	s := journalBenchSweep()
+	path := filepath.Join(b.TempDir(), "append."+format.String())
+	j, err := exp.CreateJournalFormat(path, s, exp.Shard{}, format)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	coords := s.Coords()
+	heuristics := s.Heuristics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := coords[(i/len(heuristics))%len(coords)]
+		if err := j.Append(synthInstance(c, heuristics[i%len(heuristics)], i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJournalAppendJSONL(b *testing.B)  { benchJournalAppend(b, exp.FormatJSONL) }
+func BenchmarkJournalAppendBinary(b *testing.B) { benchJournalAppend(b, exp.FormatBinary) }
+
+// benchJournalReplay measures streaming aggregation over the full
+// 100k-instance journal per op: decode every record, fold it into the
+// table accumulators, render nothing. This is the replay path behind
+// tables -resume and the daemon's restart recovery; the binary codec's
+// acceptance bar is >= 3x JSONL here.
+func benchJournalReplay(b *testing.B, format exp.Format) {
+	path, n := buildBenchJournal(b, format)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AggregateJournal(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			rows, err := res.Table(exp.ReferenceHeuristic)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != len(journalBenchSweep().Heuristics) {
+				b.Fatalf("got %d rows over %d instances", len(rows), n)
+			}
+		}
+	}
+}
+
+func BenchmarkJournalReplayJSONL(b *testing.B)  { benchJournalReplay(b, exp.FormatJSONL) }
+func BenchmarkJournalReplayBinary(b *testing.B) { benchJournalReplay(b, exp.FormatBinary) }

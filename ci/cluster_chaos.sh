@@ -108,6 +108,10 @@ sweep:
   cap: 50000
   seed: 20130522
 run:
+  # The coordinator journal (the dedup and completion authority) rides
+  # the binary codec here, so the chaos gate also proves crash recovery
+  # over the TSBL container.
+  format: binary
   cluster:
     units: 12
     leaseTtl: 3s

@@ -9,6 +9,10 @@
 #      journal that `tables -resume` completes bit-identically to an
 #      uninterrupted run.
 #
+# Plus the binary-journal leg (contract 1a): the same campaign with
+# run.format: binary must serve the identical Table I from a journal
+# carrying the TSBL binary magic — the artifact is format-independent.
+#
 # Plus the online extension (contract 1b): a grid campaign submitted as
 # a JSON spec must serve a Table IV byte-identical to
 # `tables -table 4 -quiet`, and export the tightsched_grid_* metric
@@ -119,6 +123,45 @@ for sample in \
     grep -qF "$sample" "$E2E_DIR/metrics.txt" ||
         fail "metrics missing cluster sample: $sample"
 done
+
+# ---- contract 1a: binary-journal campaign, same artifact byte for byte ----
+
+# The same campaign journaled in the binary container (run.format:
+# binary) must serve a Table I byte-identical to the JSONL-backed run
+# above, and the journal on disk must carry the TSBL magic.
+cat >"$E2E_DIR/table1_bin.yaml" <<'EOF'
+version: 1
+name: e2e-table1-binary
+sweep:
+  m: 5
+  ncoms: [5, 10, 20]
+  wmins: [1, 2]
+  scenarios: 1
+  trials: 1
+  cap: 50000
+  seed: 20130522
+run:
+  journal: true
+  format: binary
+EOF
+
+IDB=$(curl -sf -X POST -H 'Content-Type: application/yaml' \
+    --data-binary @"$E2E_DIR/table1_bin.yaml" "$BASE/v1/campaigns" | jq -r .id)
+[ -n "$IDB" ] && [ "$IDB" != null ] || fail "binary submit returned no campaign id"
+echo "daemon-e2e: submitted binary-journal campaign $IDB"
+
+STATEB=$(wait_terminal "$IDB")
+[ "$STATEB" = succeeded ] || fail "binary campaign $IDB ended '$STATEB'"
+
+JOURNALB=$(curl -sf "$BASE/v1/campaigns/$IDB" | jq -r .journal)
+[ -n "$JOURNALB" ] && [ "$JOURNALB" != null ] || fail "binary campaign reports no journal"
+[ "$(head -c 4 "$JOURNALB")" = "TSBL" ] ||
+    fail "journal $JOURNALB does not start with the TSBL binary magic"
+
+curl -sf "$BASE/v1/campaigns/$IDB/tables/1" >"$E2E_DIR/daemon_table1_bin.txt"
+cmp "$E2E_DIR/daemon_table1_bin.txt" "$E2E_DIR/cli_table1.txt" ||
+    fail "binary-journal campaign serves a different Table I (see $E2E_DIR/daemon_table1_bin.txt)"
+echo "daemon-e2e: binary-journal campaign serves the identical Table I"
 
 # ---- contract 1b: online grid campaign, Table IV parity + grid metrics ----
 

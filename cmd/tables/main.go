@@ -44,6 +44,20 @@
 // stop at macro-step boundaries, every completed instance is already flushed to
 // the journal, and the file is closed cleanly — rerunning with -resume
 // continues exactly where the interrupt landed, bit-identically.
+//
+// Journals come in two encodings: JSONL (default, line-per-record, text
+// tooling friendly) and the TSBL binary container (-journal-format
+// binary: length-prefixed CRC-checked records, ~4x smaller and ~7x
+// faster to replay). Resume, merge and the daemon sniff the format from
+// the file, so the flag matters only at creation; cmd/journalconv
+// converts between the two losslessly. -export-columns dir/ additionally
+// dumps the finished sweep journal as a columnar dataset (one
+// little-endian file per field plus a JSON manifest) for mmap-style
+// analysis outside Go:
+//
+//	tables -table 2 -scale full -journal t2.journal -journal-format binary
+//	journalconv -to jsonl t2.journal t2.jsonl
+//	tables -table 2 -scale full -journal t2.journal -resume -export-columns t2-columns/
 package main
 
 import (
@@ -74,6 +88,8 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "override master seed")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		journal   = flag.String("journal", "", "stream completed instances to this append-only journal file")
+		journalFm = flag.String("journal-format", "", "encoding for a newly created -journal file: jsonl (default) | binary (compact, CRC-checked, faster to replay); resume sniffs the existing file")
+		exportCol = flag.String("export-columns", "", "after the run, export the -journal file into this directory as a columnar dataset (one raw little-endian file per field + manifest.json)")
 		resume    = flag.Bool("resume", false, "continue an interrupted -journal file (skip recorded instances)")
 		shardSpec = flag.String("shard", "", "run one slice i/n of the instance grid (0-based), e.g. -shard 0/3")
 		merge     = flag.String("merge", "", "comma-separated shard journals to recombine and aggregate (no simulation)")
@@ -112,6 +128,20 @@ func main() {
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
+	jfmt, err := tightsched.ParseJournalFormat(*journalFm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(2)
+	}
+	if *journalFm != "" && *journal == "" {
+		fmt.Fprintln(os.Stderr, "tables: -journal-format needs -journal")
+		os.Exit(2)
+	}
+	if *exportCol != "" && *journal == "" {
+		fmt.Fprintln(os.Stderr, "tables: -export-columns exports the -journal file; pass -journal")
+		os.Exit(2)
+	}
+
 	if *table == 4 {
 		// Table IV aggregates an online grid campaign, a different
 		// instance grid from the offline sweeps: the offline campaign
@@ -119,7 +149,7 @@ func main() {
 		var conflicting []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "figure", "models", "scenarios", "cap", "wmins", "shard", "merge", "advance":
+			case "figure", "models", "scenarios", "cap", "wmins", "shard", "merge", "advance", "export-columns":
 				conflicting = append(conflicting, "-"+f.Name)
 			}
 		})
@@ -128,7 +158,7 @@ func main() {
 				strings.Join(conflicting, " "))
 			os.Exit(2)
 		}
-		runTable4(ctx, *scale, *trials, *workers, *seed, *journal, *resume, *quiet)
+		runTable4(ctx, *scale, *trials, *workers, *seed, *journal, jfmt, *resume, *quiet)
 		return
 	}
 
@@ -276,7 +306,7 @@ func main() {
 		var j *tightsched.SweepJournal
 		if *journal != "" {
 			var err error
-			j, err = openOrCreateJournal(*journal, *resume, sweep, shard)
+			j, err = openOrCreateJournal(*journal, jfmt, *resume, sweep, shard)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "tables:", err)
 				os.Exit(1)
@@ -310,6 +340,13 @@ func main() {
 		}
 		if *shardSpec != "" {
 			fmt.Printf("# NOTE: shard %s only — tables below aggregate a partial grid; recombine journals with -merge\n", shard)
+		}
+		if *exportCol != "" {
+			if err := tightsched.ExportSweepColumns(*journal, *exportCol); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("# exported columnar dataset to %s\n", *exportCol)
 		}
 		if cacheObs != nil && cacheObs.cells > 0 {
 			t := cacheObs.total
@@ -349,7 +386,7 @@ func main() {
 // Table IV. Like the offline path, the artifact bytes come from
 // RenderTableArtifact, the same function behind the daemon's
 // GET /v1/campaigns/{id}/tables/4.
-func runTable4(ctx context.Context, scale string, trials, workers int, seed uint64, journalPath string, resume, quiet bool) {
+func runTable4(ctx context.Context, scale string, trials, workers int, seed uint64, journalPath string, format tightsched.JournalFormat, resume, quiet bool) {
 	var g tightsched.OnlineSweep
 	switch scale {
 	case "quick":
@@ -398,7 +435,7 @@ func runTable4(ctx context.Context, scale string, trials, workers int, seed uint
 	var j *tightsched.OnlineJournal
 	if journalPath != "" {
 		var err error
-		j, err = openOrCreateOnlineJournal(journalPath, resume, g)
+		j, err = openOrCreateOnlineJournal(journalPath, format, resume, g)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
@@ -436,7 +473,7 @@ func runTable4(ctx context.Context, scale string, trials, workers int, seed uint
 }
 
 // openOrCreateOnlineJournal is openOrCreateJournal's grid counterpart.
-func openOrCreateOnlineJournal(path string, resume bool, g tightsched.OnlineSweep) (*tightsched.OnlineJournal, error) {
+func openOrCreateOnlineJournal(path string, format tightsched.JournalFormat, resume bool, g tightsched.OnlineSweep) (*tightsched.OnlineJournal, error) {
 	if resume {
 		if _, err := os.Stat(path); err == nil {
 			return tightsched.OpenOnlineJournal(path, g)
@@ -444,7 +481,7 @@ func openOrCreateOnlineJournal(path string, resume bool, g tightsched.OnlineSwee
 			return nil, err
 		}
 	}
-	return tightsched.CreateOnlineJournal(path, g)
+	return tightsched.CreateOnlineJournalFormat(path, g, format)
 }
 
 // sweepHeuristics returns the campaign's resolved heuristic list.
@@ -477,7 +514,9 @@ func pct(hits, total uint64) string {
 // openOrCreateJournal resumes an existing journal file or starts a fresh
 // one; with -resume a missing file is created instead of failing, so one
 // command line works both on first run and on restart after a crash.
-func openOrCreateJournal(path string, resume bool, sweep tightsched.Sweep, shard tightsched.SweepShard) (*tightsched.SweepJournal, error) {
+// format applies only to a freshly created file — reopening sniffs the
+// encoding from the file itself.
+func openOrCreateJournal(path string, format tightsched.JournalFormat, resume bool, sweep tightsched.Sweep, shard tightsched.SweepShard) (*tightsched.SweepJournal, error) {
 	if resume {
 		if _, err := os.Stat(path); err == nil {
 			return tightsched.OpenSweepJournal(path)
@@ -485,7 +524,7 @@ func openOrCreateJournal(path string, resume bool, sweep tightsched.Sweep, shard
 			return nil, err
 		}
 	}
-	return tightsched.CreateSweepJournal(path, sweep, shard)
+	return tightsched.CreateSweepJournalFormat(path, sweep, shard, format)
 }
 
 func modelNames(sweep tightsched.Sweep) []string {

@@ -273,6 +273,10 @@ func (i GridInstance) Key() GridKey { return i.GridKey }
 type GridResult struct {
 	Sweep     GridSweep
 	Instances []GridInstance
+	// agg carries an aggregation-only result's streaming Table IV
+	// accumulator (AggregateGridJournal); nil when Instances is the
+	// source of truth.
+	agg *tableIVAccumulator
 }
 
 // GridRunOptions are the execution knobs of RunGridContext; the zero
@@ -507,50 +511,38 @@ type TableIVRow struct {
 
 // TableIV aggregates the campaign into its Table IV rows, grouped by
 // (arrival, admission, preemption) in the canonical instance order.
-// Accumulation happens in that sorted order over journaled integer sums,
-// so the floats — and the rendered artifact — are bit-identical across
-// worker counts, shards and resumes.
+// Aggregation runs through the incremental combo accumulator
+// (aggregate.go), which replays each combination's trials in sorted
+// order over journaled integer sums, so the floats — and the rendered
+// artifact — are bit-identical across worker counts, shards, resumes
+// and streaming journal replays.
 func (r *GridResult) TableIV() []TableIVRow {
-	instances := append([]GridInstance(nil), r.Instances...)
-	sortGridInstances(instances)
-	var rows []TableIVRow
-	for i := 0; i < len(instances); {
-		k := instances[i]
-		row := TableIVRow{Arrival: k.Arrival, Admission: k.Admission, Preemption: k.Preemption}
-		var respSum int64
-		slowSum := 0.0
-		var makespanSum int64
-		trials := 0
-		for ; i < len(instances); i++ {
-			in := instances[i]
-			if in.Arrival != row.Arrival || in.Admission != row.Admission || in.Preemption != row.Preemption {
-				break
-			}
-			row.Apps += in.Apps
-			row.Completed += in.Completed
-			row.Missed += in.Missed
-			row.Preempted += in.Preempted
-			respSum += in.RespSum
-			slowSum += in.SlowSum
-			makespanSum += in.Makespan
-			trials++
+	acc := r.agg
+	if acc == nil {
+		acc = newTableIVAccumulator()
+		for _, in := range r.Instances {
+			acc.add(in)
 		}
-		if row.Apps > 0 {
-			row.MissPct = 100 * float64(row.Missed) / float64(row.Apps)
-		}
-		if row.Completed > 0 {
-			row.MeanResponse = float64(respSum) / float64(row.Completed)
-			row.MeanSlowdown = slowSum / float64(row.Completed)
-		} else {
-			row.MeanSlowdown = math.NaN()
-			row.MeanResponse = math.NaN()
-		}
-		if trials > 0 {
-			row.MeanMakespan = float64(makespanSum) / float64(trials)
-		}
-		rows = append(rows, row)
 	}
-	return rows
+	return acc.rows()
+}
+
+// finishTableIVRow derives a row's mean metrics from its accumulated
+// sums (trials is the number of instances folded into the row).
+func finishTableIVRow(row *TableIVRow, respSum int64, slowSum float64, makespanSum int64, trials int) {
+	if row.Apps > 0 {
+		row.MissPct = 100 * float64(row.Missed) / float64(row.Apps)
+	}
+	if row.Completed > 0 {
+		row.MeanResponse = float64(respSum) / float64(row.Completed)
+		row.MeanSlowdown = slowSum / float64(row.Completed)
+	} else {
+		row.MeanSlowdown = math.NaN()
+		row.MeanResponse = math.NaN()
+	}
+	if trials > 0 {
+		row.MeanMakespan = float64(makespanSum) / float64(trials)
+	}
 }
 
 // FormatTableIV renders Table IV rows in the experiment tables' fixed

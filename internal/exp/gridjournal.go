@@ -80,76 +80,109 @@ type gridHeader struct {
 
 const gridJournalKind = "grid"
 
-// GridJournal is the append-only JSONL journal of an online campaign —
-// the same crash-tolerant substrate as the sweep Journal (one header
-// line, one GridInstance per line, flush per append, torn tails
-// truncated on reopen), keyed by (arrival, admission, preemption,
-// trial).
+// GridJournal is the append-only journal of an online campaign — the
+// same crash-tolerant substrate as the sweep Journal (one header record,
+// one GridInstance per record, flush per append, torn tails truncated on
+// reopen, JSONL or binary framing), keyed by (arrival, admission,
+// preemption, trial).
 type GridJournal struct {
 	mu     sync.Mutex
-	w      *JSONLWriter
+	w      recordAppender
+	format Format
 	path   string
 	header gridHeader
 	done   map[GridKey]GridInstance
+	buf    []byte // entry encode buffer, reused across appends
 }
 
-// CreateGridJournal starts a new journal for the campaign. It refuses to
-// clobber an existing file.
+// CreateGridJournal starts a new JSONL journal for the campaign. It
+// refuses to clobber an existing file.
 func CreateGridJournal(path string, g *GridSweep) (*GridJournal, error) {
+	return CreateGridJournalFormat(path, g, FormatJSONL)
+}
+
+// CreateGridJournalFormat is CreateGridJournal with an explicit on-disk
+// format.
+func CreateGridJournalFormat(path string, g *GridSweep, format Format) (*GridJournal, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	header := gridHeader{V: 1, Kind: gridJournalKind, Spec: g.Spec()}
-	w, err := CreateJSONL(path, header)
+	w, err := createRecordLog(path, format, header)
 	if err != nil {
 		return nil, err
 	}
-	return &GridJournal{w: w, path: path, header: header, done: map[GridKey]GridInstance{}}, nil
+	return &GridJournal{w: w, format: format, path: path, header: header, done: map[GridKey]GridInstance{}}, nil
 }
 
-// readGridJournal loads a journal file read-only: header, completed
-// instances, and the intact prefix length for appenders.
-func readGridJournal(path string) (gridHeader, map[GridKey]GridInstance, int64, error) {
-	raw, records, validLen, err := ReadJSONL(path)
-	if err != nil {
-		return gridHeader{}, nil, 0, err
+// decodeGridEntry decodes one grid record payload in the given format.
+func decodeGridEntry(format Format, payload []byte, intern map[string]string) (GridInstance, error) {
+	if format == FormatBinary {
+		return decodeBinaryGridEntry(payload, intern)
 	}
+	var inst GridInstance
+	err := json.Unmarshal(payload, &inst)
+	return inst, err
+}
+
+// parseGridHeader validates a grid journal's raw header payload.
+func parseGridHeader(path string, raw []byte) (gridHeader, error) {
 	var header gridHeader
 	if err := json.Unmarshal(raw, &header); err != nil {
-		return gridHeader{}, nil, 0, fmt.Errorf("%s: bad journal header: %w", path, err)
+		return gridHeader{}, fmt.Errorf("%s: bad journal header: %w", path, err)
 	}
 	if header.V != 1 || header.Kind != gridJournalKind {
-		return gridHeader{}, nil, 0, fmt.Errorf("%s: not a v1 grid journal (v=%d kind=%q)", path, header.V, header.Kind)
+		return gridHeader{}, fmt.Errorf("%s: not a v1 grid journal (v=%d kind=%q)", path, header.V, header.Kind)
+	}
+	return header, nil
+}
+
+// readGridJournal loads a journal file of either format read-only:
+// format, header, completed instances, and the intact prefix length for
+// appenders. Torn tails are tolerated exactly as readJournal does.
+func readGridJournal(path string) (Format, gridHeader, map[GridKey]GridInstance, int64, error) {
+	format, raw, records, validLen, err := readJournalRecords(path)
+	if err != nil {
+		return 0, gridHeader{}, nil, 0, err
+	}
+	header, err := parseGridHeader(path, raw)
+	if err != nil {
+		return 0, gridHeader{}, nil, 0, err
 	}
 	done := map[GridKey]GridInstance{}
+	intern := map[string]string{}
 	for i, rec := range records {
-		var inst GridInstance
-		if err := json.Unmarshal(rec, &inst); err != nil {
+		inst, err := decodeGridEntry(format, rec.payload, intern)
+		if err != nil {
 			if i == len(records)-1 {
-				// Torn tail: drop the damaged final line, as the sweep
+				// Torn tail: drop the damaged final record, as the sweep
 				// journal does.
-				validLen -= int64(len(rec)) + 1
+				if i == 0 {
+					validLen = headerEnd(format, raw)
+				} else {
+					validLen = records[i-1].end
+				}
 				break
 			}
-			return gridHeader{}, nil, 0, fmt.Errorf("%s: bad journal record %d: %w", path, i+1, err)
+			return 0, gridHeader{}, nil, 0, fmt.Errorf("%s: bad journal record %d: %w", path, i+1, err)
 		}
 		done[inst.Key()] = inst
 	}
-	return header, done, validLen, nil
+	return format, header, done, validLen, nil
 }
 
 // OpenGridJournal reopens an existing journal for appending, dropping a
 // crash-torn tail. The journal's spec must match the campaign exactly.
 func OpenGridJournal(path string, g *GridSweep) (*GridJournal, error) {
-	header, done, validLen, err := readGridJournal(path)
+	format, header, done, validLen, err := readGridJournal(path)
 	if err != nil {
 		return nil, err
 	}
-	j := &GridJournal{path: path, header: header, done: done}
+	j := &GridJournal{format: format, path: path, header: header, done: done}
 	if err := j.matches(g); err != nil {
 		return nil, err
 	}
-	w, err := OpenJSONLAppend(path, validLen)
+	w, err := openRecordAppender(path, format, validLen)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +202,16 @@ func (j *GridJournal) matches(g *GridSweep) error {
 func (j *GridJournal) Append(inst GridInstance) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.w.Append(inst); err != nil {
+	if j.format == FormatBinary {
+		j.buf = appendBinaryGridEntry(j.buf[:0], inst)
+	} else {
+		b, err := json.Marshal(inst)
+		if err != nil {
+			return err
+		}
+		j.buf = b
+	}
+	if err := j.w.AppendRecord(j.buf); err != nil {
 		return err
 	}
 	j.done[inst.Key()] = inst
@@ -190,6 +232,9 @@ func (j *GridJournal) Done() map[GridKey]GridInstance {
 // Path returns the journal's file path.
 func (j *GridJournal) Path() string { return j.path }
 
+// Format returns the journal's on-disk format.
+func (j *GridJournal) Format() Format { return j.format }
+
 // Close closes the journal file.
 func (j *GridJournal) Close() error {
 	j.mu.Lock()
@@ -207,7 +252,7 @@ func (j *GridJournal) Close() error {
 // The result is bit-identical to an uninterrupted run (instances are
 // deterministic and canonically sorted).
 func ResumeGrid(ctx context.Context, path string, opt GridRunOptions) (*GridResult, error) {
-	header, _, _, err := readGridJournal(path)
+	_, header, _, _, err := readGridJournal(path)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +269,7 @@ func ResumeGrid(ctx context.Context, path string, opt GridRunOptions) (*GridResu
 // LoadGridJournal loads a journal read-only into a (possibly partial)
 // result, without running anything.
 func LoadGridJournal(path string) (*GridResult, error) {
-	header, done, _, err := readGridJournal(path)
+	_, header, done, _, err := readGridJournal(path)
 	if err != nil {
 		return nil, err
 	}

@@ -151,24 +151,34 @@ func entryOf(inst InstanceResult) journalEntry {
 	}
 }
 
-// Journal is an append-only JSONL record of a campaign's completed
-// instances: a header line stamping the campaign spec (and shard), then
-// one line per instance. Every Append is written and flushed immediately,
-// so a crash loses at most the line being written — and OpenJournal
+// Journal is an append-only record of a campaign's completed instances:
+// a header record stamping the campaign spec (and shard), then one
+// record per instance, in either the JSONL or the binary format
+// (codec.go). Every Append is written and flushed immediately, so a
+// crash loses at most the record being written — and OpenJournal
 // tolerates exactly that torn tail. The journal file is the unit of
-// resume (exp.Resume) and of cross-machine recombination (exp.Merge).
+// resume (exp.Resume) and of cross-machine recombination (exp.Merge);
+// readers sniff the format, so both formats resume and merge freely.
 type Journal struct {
 	mu     sync.Mutex
-	w      *JSONLWriter
+	w      recordAppender
+	format Format
 	path   string
 	header journalHeader
 	done   map[Key]InstanceResult
+	buf    []byte // entry encode buffer, reused across appends
 }
 
-// CreateJournal starts a new journal for the sweep (shard is the slice
-// stamp; the zero Shard means the whole campaign). It fails if the file
-// already exists — open an existing journal with OpenJournal to resume.
+// CreateJournal starts a new JSONL journal for the sweep (shard is the
+// slice stamp; the zero Shard means the whole campaign). It fails if the
+// file already exists — open an existing journal with OpenJournal to
+// resume.
 func CreateJournal(path string, sweep Sweep, shard Shard) (*Journal, error) {
+	return CreateJournalFormat(path, sweep, shard, FormatJSONL)
+}
+
+// CreateJournalFormat is CreateJournal with an explicit on-disk format.
+func CreateJournalFormat(path string, sweep Sweep, shard Shard, format Format) (*Journal, error) {
 	if err := sweep.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,74 +186,119 @@ func CreateJournal(path string, sweep Sweep, shard Shard) (*Journal, error) {
 		return nil, err
 	}
 	header := journalHeader{V: 1, Spec: sweep.Spec(), Shard: shard.normalize()}
-	w, err := CreateJSONL(path, header)
+	w, err := createRecordLog(path, format, header)
 	if err != nil {
 		return nil, fmt.Errorf("exp: create journal: %w", err)
 	}
-	return &Journal{w: w, path: path, header: header, done: map[Key]InstanceResult{}}, nil
+	return &Journal{w: w, format: format, path: path, header: header, done: map[Key]InstanceResult{}}, nil
 }
 
-// readJournal parses a journal file without modifying it. A torn tail —
-// the damage a crash can leave — is tolerated whatever its shape: a
-// final line missing its newline (a cut-short write, dropped by
-// ReadJSONL) or a final line that is newline-terminated but fails to
-// parse (a zero-filled or garbled block from filesystem crash recovery).
-// Either way the intact prefix ends before it, and validLen reports
-// where, so an appender can truncate the tear away. A corrupt line
-// before the tail is still an error — the journal is append-only, so
-// damage there means the file was tampered with.
-func readJournal(path string) (journalHeader, map[Key]InstanceResult, int64, error) {
-	headerLine, records, validLen, err := ReadJSONL(path)
-	if err != nil {
-		return journalHeader{}, nil, 0, fmt.Errorf("exp: open journal: %w", err)
+// decodeJournalEntry decodes one record payload in the given format.
+func decodeJournalEntry(format Format, payload []byte, intern map[string]string) (journalEntry, error) {
+	if format == FormatBinary {
+		return decodeBinaryEntry(payload, intern)
 	}
+	var e journalEntry
+	err := json.Unmarshal(payload, &e)
+	return e, err
+}
+
+// parseJournalHeader validates a journal's raw header payload.
+func parseJournalHeader(path string, raw []byte) (journalHeader, error) {
 	var header journalHeader
-	if err := json.Unmarshal(headerLine, &header); err != nil {
-		return journalHeader{}, nil, 0, fmt.Errorf("exp: journal %s header: %w", path, err)
+	if err := json.Unmarshal(raw, &header); err != nil {
+		return journalHeader{}, fmt.Errorf("exp: journal %s header: %w", path, err)
 	}
 	if header.V != 1 {
-		return journalHeader{}, nil, 0, fmt.Errorf("exp: journal %s has unknown version %d", path, header.V)
+		return journalHeader{}, fmt.Errorf("exp: journal %s has unknown version %d", path, header.V)
 	}
 	header.Shard = header.Shard.normalize()
+	return header, nil
+}
+
+// readJournal parses a journal file of either format without modifying
+// it. A torn tail — the damage a crash can leave — is tolerated whatever
+// its shape: a record cut short mid-write (dropped by the framing
+// layer), or a final record that frames correctly but fails to parse (a
+// zero-filled or garbled block from filesystem crash recovery). Either
+// way the intact prefix ends before it, and validLen reports where, so
+// an appender can truncate the tear away. A corrupt record before the
+// tail is still an error — the journal is append-only, so damage there
+// means the file was tampered with.
+func readJournal(path string) (Format, journalHeader, map[Key]InstanceResult, int64, error) {
+	format, headerRaw, records, validLen, err := readJournalRecords(path)
+	if err != nil {
+		return 0, journalHeader{}, nil, 0, fmt.Errorf("exp: open journal: %w", err)
+	}
+	header, err := parseJournalHeader(path, headerRaw)
+	if err != nil {
+		return 0, journalHeader{}, nil, 0, err
+	}
 	done := make(map[Key]InstanceResult, len(records))
-	for i, line := range records {
-		var e journalEntry
-		if err := json.Unmarshal(line, &e); err != nil {
+	intern := map[string]string{}
+	for i, rec := range records {
+		e, err := decodeJournalEntry(format, rec.payload, intern)
+		if err != nil {
 			if i == len(records)-1 {
-				// Torn tail: exclude the line (and its newline) from the
-				// intact prefix. The instance it would have recorded is
-				// simply re-run on resume, or covered by an overlapping
-				// journal on merge.
-				validLen -= int64(len(line)) + 1
+				// Torn tail: exclude the record from the intact prefix.
+				// The instance it would have recorded is simply re-run on
+				// resume, or covered by an overlapping journal on merge.
+				if i == 0 {
+					validLen = headerEnd(format, headerRaw)
+				} else {
+					validLen = records[i-1].end
+				}
 				break
 			}
-			return journalHeader{}, nil, 0, fmt.Errorf("exp: journal %s line %d: %w", path, i+2, err)
+			return 0, journalHeader{}, nil, 0, fmt.Errorf("exp: journal %s record %d: %w", path, i+2, err)
 		}
 		inst := e.instance()
 		done[inst.Key()] = inst
 	}
-	return header, done, validLen, nil
+	return format, header, done, validLen, nil
 }
 
-// OpenJournal opens an existing journal for resuming: it loads the header
-// and every recorded instance, truncates a torn final line (the signature
-// of a mid-write crash), and positions the file for appending. Read-only
-// consumers (aggregation, merging) should use LoadJournal instead, which
-// never writes.
+// headerEnd returns the file offset just past the header record.
+func headerEnd(format Format, headerRaw []byte) int64 {
+	if format == FormatBinary {
+		n := int64(len(headerRaw))
+		return int64(binHeaderLen) + int64(uvarintLen(uint64(n))) + n + 4
+	}
+	return int64(len(headerRaw)) + 1
+}
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// OpenJournal opens an existing journal for resuming: it sniffs the
+// format, loads the header and every recorded instance, truncates a torn
+// final record (the signature of a mid-write crash), and positions the
+// file for appending. Read-only consumers (aggregation, merging) should
+// use LoadJournal instead, which never writes.
 func OpenJournal(path string) (*Journal, error) {
-	header, done, validLen, err := readJournal(path)
+	format, header, done, validLen, err := readJournal(path)
 	if err != nil {
 		return nil, err
 	}
-	w, err := OpenJSONLAppend(path, validLen)
+	w, err := openRecordAppender(path, format, validLen)
 	if err != nil {
 		return nil, fmt.Errorf("exp: open journal for append: %w", err)
 	}
-	return &Journal{w: w, path: path, header: header, done: done}, nil
+	return &Journal{w: w, format: format, path: path, header: header, done: done}, nil
 }
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
+
+// Format returns the journal's on-disk format.
+func (j *Journal) Format() Format { return j.format }
 
 // Spec returns the campaign identity stamped in the header.
 func (j *Journal) Spec() SweepSpec { return j.header.Spec }
@@ -278,7 +333,17 @@ func (j *Journal) Instances() []InstanceResult {
 func (j *Journal) Append(inst InstanceResult) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.w.Append(entryOf(inst)); err != nil {
+	e := entryOf(inst)
+	if j.format == FormatBinary {
+		j.buf = appendBinaryEntry(j.buf[:0], e)
+	} else {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("exp: %w", err)
+		}
+		j.buf = b
+	}
+	if err := j.w.AppendRecord(j.buf); err != nil {
 		return fmt.Errorf("exp: %w", err)
 	}
 	j.done[inst.Key()] = inst
@@ -343,7 +408,7 @@ func ResumeWith(ctx context.Context, journalPath string, opts RunOptions) (*Resu
 // exp.Merge when recombining shard journals. The Result's Sweep carries
 // the journaled dimensions (models stay name-only inside the instances).
 func LoadJournal(path string) (*Result, Shard, error) {
-	header, done, _, err := readJournal(path)
+	_, header, done, _, err := readJournal(path)
 	if err != nil {
 		return nil, Shard{}, err
 	}

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"tightsched/internal/stats"
 )
 
 // ReferenceHeuristic is the comparison baseline of Section VII: IE is the
@@ -53,19 +51,29 @@ func (r *Result) Table(ref string) ([]TableRow, error) {
 // TableForWmin aggregates only the instances with the given wmin; it is
 // the slicing behind Figure 2.
 func (r *Result) TableForWmin(ref string, wmin int) ([]TableRow, error) {
-	return r.tableFiltered(ref, func(inst InstanceResult) bool { return inst.Point.Wmin == wmin })
+	return r.tableFiltered(ref, func(k scenarioKey) bool { return k.Wmin == wmin })
 }
 
 // TableForModel aggregates only the instances run under the named
 // availability model (instances recorded before models existed count as
 // "markov").
 func (r *Result) TableForModel(ref, model string) ([]TableRow, error) {
-	return r.tableFiltered(ref, func(inst InstanceResult) bool { return modelName(inst) == model })
+	return r.tableFiltered(ref, func(k scenarioKey) bool { return k.Model == model })
 }
 
 // Models returns the distinct availability-model names in the results,
 // sorted; instances recorded before models existed count as "markov".
+// Aggregation-only results read the names off their streaming
+// accumulators.
 func (r *Result) Models() []string {
+	if len(r.Instances) == 0 && r.agg != nil {
+		st := r.aggState()
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		for _, acc := range st.byRef {
+			return acc.models()
+		}
+	}
 	seen := map[string]bool{}
 	for _, inst := range r.Instances {
 		seen[modelName(inst)] = true
@@ -87,159 +95,29 @@ func modelName(inst InstanceResult) string {
 	return inst.Model
 }
 
-func (r *Result) tableFiltered(ref string, keep func(InstanceResult) bool) ([]TableRow, error) {
-	type cell struct {
-		sum   float64 // Σ makespans over succeeding trials
-		n     int     // succeeding trials
-		fails int
-		all   map[int]float64 // trial -> makespan (capped for fails)
+// tableFiltered renders table rows for ref over the scenario keys keep
+// admits. The heavy lifting lives in the memoized per-ref accumulator
+// (aggregate.go): one walk over Instances serves every table slicing,
+// and aggregation-only results render from their streaming accumulators
+// without any instance slice at all.
+func (r *Result) tableFiltered(ref string, keep func(scenarioKey) bool) ([]TableRow, error) {
+	acc, err := r.aggFor(ref)
+	if err != nil {
+		return nil, err
 	}
-	perHeur := map[string]map[scenarioKey]*cell{}
-	names := map[string]bool{}
-	for _, inst := range r.Instances {
-		if keep != nil && !keep(inst) {
-			continue
-		}
-		names[inst.Heuristic] = true
-		key := scenarioKey{inst.Point.Ncom, inst.Point.Wmin, inst.Point.Scenario, modelName(inst)}
-		byScen := perHeur[inst.Heuristic]
-		if byScen == nil {
-			byScen = map[scenarioKey]*cell{}
-			perHeur[inst.Heuristic] = byScen
-		}
-		c := byScen[key]
-		if c == nil {
-			c = &cell{all: map[int]float64{}}
-			byScen[key] = c
-		}
-		c.all[inst.Trial] = float64(inst.Makespan)
-		if inst.Failed {
-			c.fails++
-		} else {
-			c.sum += float64(inst.Makespan)
-			c.n++
-		}
-	}
-	refCells, ok := perHeur[ref]
-	if !ok {
-		return nil, fmt.Errorf("exp: reference heuristic %q not in results", ref)
-	}
-
-	var rows []TableRow
-	for name, byScen := range perHeur {
-		row := TableRow{Heuristic: name}
-		var diffs []float64
-		wins, wins30, trials := 0, 0, 0
-		// Accumulate scenarios in sorted-key order: float summation order
-		// must not depend on map iteration, so one campaign's tables are
-		// bit-identical however it was executed (in one run, resumed from
-		// a journal, or merged from shards).
-		keys := make([]scenarioKey, 0, len(byScen))
-		for key := range byScen {
-			keys = append(keys, key)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			a, b := keys[i], keys[j]
-			if a.Model != b.Model {
-				return a.Model < b.Model
-			}
-			if a.Ncom != b.Ncom {
-				return a.Ncom < b.Ncom
-			}
-			if a.Wmin != b.Wmin {
-				return a.Wmin < b.Wmin
-			}
-			return a.Scenario < b.Scenario
-		})
-		for _, key := range keys {
-			c := byScen[key]
-			row.Fails += c.fails
-			refC := refCells[key]
-			if refC == nil {
-				continue
-			}
-			// Per-trial win counting on capped makespans.
-			for trial, mk := range c.all {
-				refMk, ok := refC.all[trial]
-				if !ok {
-					continue
-				}
-				trials++
-				if mk <= refMk {
-					wins++
-				}
-				if mk <= 1.3*refMk {
-					wins30++
-				}
-			}
-			// Per-scenario relative difference over succeeding trials.
-			if c.n > 0 && refC.n > 0 {
-				mH := c.sum / float64(c.n)
-				mRef := refC.sum / float64(refC.n)
-				den := mH
-				if mRef < den {
-					den = mRef
-				}
-				if den > 0 {
-					diffs = append(diffs, (mH-mRef)/den)
-				}
-			}
-		}
-		if len(diffs) > 0 {
-			row.Diff = 100 * stats.Mean(diffs)
-			row.Stdv = stats.Stdev(diffs)
-		}
-		if trials > 0 {
-			row.Wins = 100 * float64(wins) / float64(trials)
-			row.Wins30 = 100 * float64(wins30) / float64(trials)
-		}
-		rows = append(rows, row)
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Diff != rows[j].Diff {
-			return rows[i].Diff < rows[j].Diff
-		}
-		return rows[i].Heuristic < rows[j].Heuristic
-	})
-	return rows, nil
+	return acc.rows(keep)
 }
 
 // RefFailureDominance checks the paper's robustness observation: whenever
 // the reference heuristic fails an instance, does every other heuristic
 // fail it too? It returns the number of counterexample instances.
 func (r *Result) RefFailureDominance(ref string) int {
-	failed := map[string]map[scenarioKey]map[int]bool{}
-	for _, inst := range r.Instances {
-		key := scenarioKey{inst.Point.Ncom, inst.Point.Wmin, inst.Point.Scenario, modelName(inst)}
-		byScen := failed[inst.Heuristic]
-		if byScen == nil {
-			byScen = map[scenarioKey]map[int]bool{}
-			failed[inst.Heuristic] = byScen
-		}
-		if byScen[key] == nil {
-			byScen[key] = map[int]bool{}
-		}
-		byScen[key][inst.Trial] = inst.Failed
+	acc, err := r.aggFor(ref)
+	if err != nil {
+		return 0
 	}
-	counter := 0
-	for key, trials := range failed[ref] {
-		for trial, refFailed := range trials {
-			if !refFailed {
-				continue
-			}
-			for name, byScen := range failed {
-				if name == ref {
-					continue
-				}
-				if ts, ok := byScen[key]; ok {
-					if f, ok := ts[trial]; ok && !f {
-						counter++
-					}
-				}
-			}
-		}
-	}
-	return counter
+	acc.finish()
+	return acc.dominance
 }
 
 // FormatTable renders rows in the paper's Table I/II layout.

@@ -154,7 +154,7 @@ func MergeJournals(paths ...string) (*Result, error) {
 	var baseSpec SweepSpec
 	results := make([]*Result, 0, len(paths))
 	for i, p := range paths {
-		header, done, _, err := readJournal(p)
+		_, header, done, _, err := readJournal(p)
 		if err != nil {
 			return nil, err
 		}

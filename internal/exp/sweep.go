@@ -212,6 +212,11 @@ type Result struct {
 	// Grid carries an online (Table IV) campaign's outcomes; nil for
 	// the paper's offline sweeps.
 	Grid *GridResult
+	// agg memoizes table aggregation (one instance walk serves every
+	// table); lazily initialized, shared by value copies. For
+	// aggregation-only results (journal replay, DiscardInstances runs)
+	// it holds the streaming accumulators and Instances stays nil.
+	agg *resultAgg
 }
 
 // scenarioPlatform deterministically regenerates the platform of a point.
@@ -374,8 +379,11 @@ type RunOptions struct {
 	Observer Observer
 	// DiscardInstances drops per-instance results after journal/sink
 	// delivery instead of collecting them, bounding memory for huge
-	// campaigns whose aggregation happens elsewhere (e.g. exp.Merge over
-	// shard journals). The returned Result then has nil Instances.
+	// campaigns. The returned Result has nil Instances but still renders
+	// Tables I–III, Figure 2 and the failure-dominance check (for
+	// ReferenceHeuristic): every instance is folded into streaming
+	// accumulators as it completes, holding O(cells) — not O(instances)
+	// — in memory.
 	DiscardInstances bool
 }
 
@@ -403,13 +411,21 @@ func RunWith(sweep Sweep, opts RunOptions) (*Result, error) {
 // uninterrupted result bit for bit.
 func RunWithContext(ctx context.Context, sweep Sweep, opts RunOptions) (*Result, error) {
 	var collected []InstanceResult
+	var acc *tableAccumulator
+	if opts.DiscardInstances {
+		// Streaming aggregation in place of collection: groups close as
+		// each coordinate's heuristics complete, keeping memory O(cells).
+		acc = newTableAccumulator(ReferenceHeuristic, len(sweep.heuristics()))
+	}
 	for ev, err := range Stream(ctx, sweep, opts) {
 		if err != nil {
 			return nil, err
 		}
 		switch ev := ev.(type) {
 		case InstanceDone:
-			if !opts.DiscardInstances {
+			if acc != nil {
+				acc.add(ev.Instance)
+			} else {
 				collected = append(collected, ev.Instance)
 			}
 			if !ev.Replayed && opts.Sink != nil {
@@ -434,7 +450,11 @@ func RunWithContext(ctx context.Context, sweep Sweep, opts RunOptions) (*Result,
 		}
 	}
 	sortInstances(collected)
-	return &Result{Sweep: sweep, Instances: collected}, nil
+	res := &Result{Sweep: sweep, Instances: collected}
+	if acc != nil {
+		res.preseedAgg(ReferenceHeuristic, acc)
+	}
+	return res, nil
 }
 
 // sortInstances orders results by (model name, point, trial, heuristic) —

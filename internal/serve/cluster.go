@@ -82,12 +82,13 @@ func leasePath(journalPath string) string {
 
 // openOrCreateJournal resumes an existing campaign journal or starts a
 // fresh one — the cluster path's create-or-resume seam, shared by submit
-// and daemon-restart recovery.
-func openOrCreateJournal(path string, sweep tightsched.Sweep) (*tightsched.SweepJournal, error) {
+// and daemon-restart recovery. format applies only on creation; an
+// existing journal's encoding is sniffed from the file.
+func openOrCreateJournal(path string, sweep tightsched.Sweep, format tightsched.JournalFormat) (*tightsched.SweepJournal, error) {
 	if _, err := os.Stat(path); err == nil {
 		return tightsched.OpenSweepJournal(path)
 	}
-	return tightsched.CreateSweepJournal(path, sweep, tightsched.SweepShard{})
+	return tightsched.CreateSweepJournalFormat(path, sweep, tightsched.SweepShard{}, format)
 }
 
 // runClusterCampaign owns one cluster campaign: it starts (or resumes)
@@ -100,7 +101,7 @@ func (s *Server) runClusterCampaign(ctx context.Context, c *Campaign) {
 	defer s.wg.Done()
 	c.markRunning(time.Now().UTC())
 
-	journal, err := openOrCreateJournal(c.journalPath, c.Spec.Sweep)
+	journal, err := openOrCreateJournal(c.journalPath, c.Spec.Sweep, c.Spec.Format)
 	if err != nil {
 		c.finish(ctx, err, nil, time.Now().UTC())
 		return

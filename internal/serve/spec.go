@@ -65,6 +65,10 @@ type Spec struct {
 	// Journal selects durable execution: the daemon journals the campaign
 	// to its data directory, making cancellation resumable (default true).
 	Journal bool
+	// Format is the journal's on-disk encoding (run.format: jsonl |
+	// binary; default jsonl). Restart sniffs the existing file, so the
+	// choice matters only when the journal is first created.
+	Format tightsched.JournalFormat
 	// Cluster, when set, runs the campaign on external worker processes
 	// with crash-tolerant leases (run.cluster block) instead of the
 	// in-process runner pool.
@@ -103,6 +107,7 @@ type Spec struct {
 //	  maxLeap: 0               # macro-step bound (0 = default)
 //	  workers: 0               # per-campaign parallel sims (0 = NumCPU)
 //	  journal: true            # journal to the daemon's data dir
+//	  format: jsonl            # journal encoding: jsonl | binary
 //	  shard: 0/3               # run one slice of the grid
 //	  cluster:                 # lease the grid to external workers
 //	    units: 8               # initial work-unit decomposition
@@ -388,7 +393,7 @@ func sweepFromTree(m map[string]any, preset string) (tightsched.Sweep, *SpecErro
 // single validation point the WithTimeAdvance option uses.
 func runFromTree(m map[string]any, spec *Spec) (tightsched.SweepRuntime, *SpecError) {
 	var rt tightsched.SweepRuntime
-	if serr := rejectUnknown(m, "run.", "advance", "maxLeap", "workers", "journal", "shard", "cluster"); serr != nil {
+	if serr := rejectUnknown(m, "run.", "advance", "maxLeap", "workers", "journal", "format", "shard", "cluster"); serr != nil {
 		return rt, serr
 	}
 	if spec.Grid != nil {
@@ -429,6 +434,18 @@ func runFromTree(m map[string]any, spec *Spec) (tightsched.SweepRuntime, *SpecEr
 		return rt, serr
 	} else if present {
 		spec.Journal = v
+	}
+	if v, present, serr := stringField(m, "format", "run.format"); serr != nil {
+		return rt, serr
+	} else if present {
+		format, err := tightsched.ParseJournalFormat(v)
+		if err != nil {
+			return rt, specErr("run.format", "unknown journal format %q (choose jsonl or binary)", v)
+		}
+		if !spec.Journal {
+			return rt, specErr("run.format", "requires run.journal: true (the format names the journal's encoding)")
+		}
+		spec.Format = format
 	}
 	if v, present, serr := stringField(m, "shard", "run.shard"); serr != nil {
 		return rt, serr

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2 is the P² streaming quantile estimator of Jain & Chlamtac (1985):
+// five markers track the running minimum, maximum, target quantile and
+// the two quantiles halfway to each extreme, adjusting their heights by
+// piecewise-parabolic interpolation as observations arrive. Memory is
+// O(1) regardless of stream length, which is what lets journal replay
+// summarize millions of makespans without materializing them.
+//
+// The estimate is exact until five observations have been seen and an
+// approximation afterwards; for smooth unimodal distributions the error
+// is typically well under one percent of the interquartile range. The
+// zero value is not ready to use — construct with NewP2.
+type P2 struct {
+	p float64
+	n int
+	// q are the marker heights, pos their current (1-based) positions in
+	// the observation count, want the desired positions, and dWant the
+	// per-observation desired-position increments.
+	q     [5]float64
+	pos   [5]float64
+	want  [5]float64
+	dWant [5]float64
+}
+
+// NewP2 returns a P² estimator for the p-quantile, 0 < p < 1.
+func NewP2(p float64) *P2 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: P2 quantile %v outside (0,1)", p))
+	}
+	s := &P2{p: p}
+	s.dWant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return s
+}
+
+// Add incorporates one observation.
+func (s *P2) Add(x float64) {
+	if s.n < 5 {
+		s.q[s.n] = x
+		s.n++
+		if s.n == 5 {
+			sort.Float64s(s.q[:])
+			for i := range s.pos {
+				s.pos[i] = float64(i + 1)
+			}
+			s.want = [5]float64{1, 1 + 2*s.p, 1 + 4*s.p, 3 + 2*s.p, 5}
+		}
+		return
+	}
+	// Locate the cell k with q[k] <= x < q[k+1], extending the extremes.
+	var k int
+	switch {
+	case x < s.q[0]:
+		s.q[0] = x
+		k = 0
+	case x >= s.q[4]:
+		s.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.want {
+		s.want[i] += s.dWant[i]
+	}
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.want[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := s.parabolic(i, sign)
+			if s.q[i-1] < h && h < s.q[i+1] {
+				s.q[i] = h
+			} else {
+				s.q[i] = s.linear(i, sign)
+			}
+			s.pos[i] += sign
+		}
+	}
+	s.n++
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i one position in direction d (±1).
+func (s *P2) parabolic(i int, d float64) float64 {
+	pi, pm, pp := s.pos[i], s.pos[i-1], s.pos[i+1]
+	return s.q[i] + d/(pp-pm)*((pi-pm+d)*(s.q[i+1]-s.q[i])/(pp-pi)+
+		(pp-pi-d)*(s.q[i]-s.q[i-1])/(pi-pm))
+}
+
+// linear is the fallback height prediction when the parabola would break
+// marker monotonicity.
+func (s *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.q[i] + d*(s.q[j]-s.q[i])/(s.pos[j]-s.pos[i])
+}
+
+// N returns the number of observations added.
+func (s *P2) N() int { return s.n }
+
+// Quantile returns the current estimate of the p-quantile: exact (by
+// interpolation over the buffered sample) below five observations, the
+// middle marker's height afterwards. NaN when empty.
+func (s *P2) Quantile() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if s.n < 5 {
+		buf := make([]float64, s.n)
+		copy(buf, s.q[:s.n])
+		sort.Float64s(buf)
+		return QuantileSorted(buf, s.p)
+	}
+	return s.q[2]
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator so the P² accuracy tests never
+// depend on math/rand's sequence across Go versions.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(*l>>11) / float64(1<<53)
+}
+
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	r := lcg(1)
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = r.next() * 100
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		if got, want := QuantileSorted(sorted, q), Quantile(xs, q); got != want {
+			t.Fatalf("QuantileSorted(%v) = %v, Quantile = %v", q, got, want)
+		}
+	}
+	if !math.IsNaN(QuantileSorted(nil, 0.5)) {
+		t.Fatal("empty QuantileSorted should be NaN")
+	}
+	if QuantileSorted([]float64{7}, 0.9) != 7 {
+		t.Fatal("singleton QuantileSorted")
+	}
+}
+
+func TestQuantileSortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for q outside [0,1]")
+		}
+	}()
+	QuantileSorted([]float64{1, 2}, 1.5)
+}
+
+func TestP2SmallSamplesExact(t *testing.T) {
+	s := NewP2(0.5)
+	if !math.IsNaN(s.Quantile()) {
+		t.Fatal("empty P2 should be NaN")
+	}
+	for _, x := range []float64{5, 1, 3} {
+		s.Add(x)
+	}
+	if s.N() != 3 {
+		t.Fatalf("N = %d, want 3", s.N())
+	}
+	if got := s.Quantile(); got != 3 {
+		t.Fatalf("median of {1,3,5} = %v, want 3", got)
+	}
+}
+
+func TestP2Accuracy(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    float64
+		gen  func(r *lcg) float64
+	}{
+		{"uniform-median", 0.5, func(r *lcg) float64 { return r.next() }},
+		{"uniform-p95", 0.95, func(r *lcg) float64 { return r.next() }},
+		{"exp-median", 0.5, func(r *lcg) float64 { return -math.Log(1 - r.next()) }},
+		{"squared-p90", 0.9, func(r *lcg) float64 { u := r.next(); return u * u }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := lcg(42)
+			s := NewP2(tc.p)
+			const n = 50000
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = tc.gen(&r)
+				s.Add(xs[i])
+			}
+			exact := Quantile(xs, tc.p)
+			got := s.Quantile()
+			spread := Quantile(xs, 0.75) - Quantile(xs, 0.25)
+			if math.Abs(got-exact) > 0.05*spread {
+				t.Fatalf("P2(%v) = %v, exact %v (iqr %v)", tc.p, got, exact, spread)
+			}
+		})
+	}
+}
+
+func TestP2Monotone(t *testing.T) {
+	// Ascending input keeps markers ordered and the estimate within range.
+	s := NewP2(0.5)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	got := s.Quantile()
+	if got < 0 || got > 999 {
+		t.Fatalf("median estimate %v outside data range", got)
+	}
+	if math.Abs(got-499.5) > 50 {
+		t.Fatalf("median of 0..999 estimated at %v", got)
+	}
+}
+
+func TestP2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p outside (0,1)")
+		}
+	}()
+	NewP2(1)
+}
+
+func TestWelfordMerge(t *testing.T) {
+	r := lcg(7)
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = r.next()*10 - 5
+	}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, cut := range []int{0, 1, 500, 1000, 1001} {
+		var a, b Welford
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("cut %d: N = %d, want %d", cut, a.N(), whole.N())
+		}
+		if !almost(a.Mean(), whole.Mean(), 1e-9) {
+			t.Fatalf("cut %d: mean %v, want %v", cut, a.Mean(), whole.Mean())
+		}
+		if !almost(a.Stdev(), whole.Stdev(), 1e-9) {
+			t.Fatalf("cut %d: stdev %v, want %v", cut, a.Stdev(), whole.Stdev())
+		}
+	}
+	// Merging into an empty accumulator copies.
+	var empty Welford
+	empty.Merge(whole)
+	if empty.N() != whole.N() || empty.Mean() != whole.Mean() {
+		t.Fatal("merge into empty should copy")
+	}
+}
+
+func TestSummarizeSinglePassParity(t *testing.T) {
+	r := lcg(13)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.next() * 1000
+	}
+	s := Summarize(xs)
+	if s.Min != Min(xs) || s.Max != Max(xs) || s.Median != Median(xs) {
+		t.Fatalf("order statistics diverge from direct scans: %+v", s)
+	}
+	if s.Mean != Mean(xs) || s.Stdev != Stdev(xs) {
+		t.Fatalf("moments diverge from direct scans: %+v", s)
+	}
+}

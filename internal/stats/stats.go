@@ -82,16 +82,22 @@ func Max(xs []float64) float64 {
 // interpolation between order statistics. It returns NaN for empty input
 // and panics for q outside [0,1].
 func Quantile(xs []float64, q float64) float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile over an already ascending-sorted sample; it
+// performs no copy or sort, so one sorted copy can serve many quantiles.
+func QuantileSorted(sorted []float64, q float64) float64 {
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
 	}
-	n := len(xs)
+	n := len(sorted)
 	if n == 0 {
 		return math.NaN()
 	}
-	sorted := make([]float64, n)
-	copy(sorted, xs)
-	sort.Float64s(sorted)
 	if n == 1 {
 		return sorted[0]
 	}
@@ -119,16 +125,27 @@ type Summary struct {
 }
 
 // Summarize computes a Summary of xs. All fields of a summary over an empty
-// sample are NaN except N.
+// sample are NaN except N. The order statistics (min, median, max) come
+// from a single sorted copy instead of three independent scans; mean and
+// standard deviation still accumulate in the original sample order, so
+// their floating-point results are unchanged.
 func Summarize(xs []float64) Summary {
-	return Summary{
-		N:      len(xs),
-		Mean:   Mean(xs),
-		Stdev:  Stdev(xs),
-		Min:    Min(xs),
-		Median: Median(xs),
-		Max:    Max(xs),
+	s := Summary{
+		N:     len(xs),
+		Mean:  Mean(xs),
+		Stdev: Stdev(xs),
 	}
+	if len(xs) == 0 {
+		s.Min, s.Median, s.Max = math.NaN(), math.NaN(), math.NaN()
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Median = QuantileSorted(sorted, 0.5)
+	s.Max = sorted[len(sorted)-1]
+	return s
 }
 
 // String renders the summary on one line.
@@ -173,4 +190,23 @@ func (w *Welford) Stdev() float64 {
 		return 0
 	}
 	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Merge folds another accumulator into w (Chan et al.'s pairwise update),
+// as if every observation added to o had been added to w. It lets
+// parallel shards each keep a local Welford and combine at the end.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	na, nb := float64(w.n), float64(o.n)
+	n := na + nb
+	d := o.mean - w.mean
+	w.mean += d * nb / n
+	w.m2 += o.m2 + d*d*na*nb/n
+	w.n += o.n
 }

@@ -281,8 +281,10 @@ func WithSink(f func(SweepInstance) error) Option {
 
 // WithDiscardInstances drops per-instance results after journal, sink
 // and observer delivery in RunSweep and ResumeSweep, bounding memory for
-// huge campaigns aggregated elsewhere (a Stream collects nothing to
-// discard).
+// huge campaigns (a Stream collects nothing to discard). The result's
+// Instances is nil, but Tables I–III, Figure 2 and the robustness check
+// still render: instances fold into streaming accumulators as they
+// complete, holding O(cells) state instead of the full campaign.
 func WithDiscardInstances() Option {
 	return scoped("WithDiscardInstances", scopeConsume, func(c *sessionConfig) { c.discard = true })
 }

@@ -302,9 +302,63 @@ func ResumeSweep(journalPath string, progress func(done, total int)) (*SweepResu
 }
 
 // MergeSweepJournals recombines shard journals of one campaign into one
-// complete result, erroring on gaps or conflicts.
+// complete result, erroring on gaps or conflicts. Mixed-format shards
+// merge transparently.
 func MergeSweepJournals(paths ...string) (*SweepResult, error) {
 	return exp.MergeJournals(paths...)
+}
+
+// JournalFormat selects a journal's on-disk encoding: JournalJSONL (the
+// default, one JSON document per line) or JournalBinary (the compact
+// length-prefixed record container — same records, CRC-checked, several
+// times faster to replay). Readers sniff the format from the file, so
+// the choice matters only at creation.
+type JournalFormat = exp.Format
+
+const (
+	JournalJSONL  = exp.FormatJSONL
+	JournalBinary = exp.FormatBinary
+)
+
+// ParseJournalFormat parses a format name: "" or "jsonl" → JournalJSONL,
+// "binary" (or "bin") → JournalBinary.
+func ParseJournalFormat(s string) (JournalFormat, error) { return exp.ParseFormat(s) }
+
+// CreateSweepJournalFormat is CreateSweepJournal with an explicit on-disk
+// encoding.
+func CreateSweepJournalFormat(path string, sweep Sweep, shard SweepShard, format JournalFormat) (*SweepJournal, error) {
+	return exp.CreateJournalFormat(path, sweep, shard, format)
+}
+
+// ConvertJournal rewrites a journal (sweep or online — the header
+// decides) into the requested format at dst, streaming record by record.
+// Resume, merge and aggregation treat the converted journal exactly like
+// the original.
+func ConvertJournal(src, dst string, to JournalFormat) error {
+	return exp.ConvertJournal(src, dst, to)
+}
+
+// AggregateSweepJournal replays a sweep journal into an aggregation-only
+// result: Tables I–III, Figure 2 and the failure-dominance check render
+// from streaming accumulators in O(cells) memory, without materializing
+// the instance slice. The result's Instances is nil.
+func AggregateSweepJournal(path string) (*SweepResult, error) {
+	return exp.AggregateJournal(path)
+}
+
+// AggregateOnlineJournal replays an online grid journal into an
+// aggregation-only result whose Table IV renders without holding the
+// instance slice.
+func AggregateOnlineJournal(path string) (*SweepResult, error) {
+	return exp.AggregateGridJournal(path)
+}
+
+// ExportSweepColumns streams a sweep journal into dir as a columnar
+// dataset: one raw little-endian file per field plus a JSON manifest
+// with dictionaries and a streaming makespan summary — mmap-friendly
+// input for numpy/Arrow-style tooling.
+func ExportSweepColumns(journalPath, dir string) error {
+	return exp.ExportColumns(journalPath, dir)
 }
 
 // ParseSweepShard parses the command-line shard form "i/n" (0-based).
@@ -422,8 +476,15 @@ func CreateOnlineJournal(path string, g OnlineSweep) (*OnlineJournal, error) {
 
 // OpenOnlineJournal reopens an existing grid journal for appending,
 // verifying it belongs to the campaign and dropping a crash-torn tail.
+// Both encodings reopen transparently.
 func OpenOnlineJournal(path string, g OnlineSweep) (*OnlineJournal, error) {
 	return exp.OpenGridJournal(path, &g)
+}
+
+// CreateOnlineJournalFormat is CreateOnlineJournal with an explicit
+// on-disk encoding.
+func CreateOnlineJournalFormat(path string, g OnlineSweep, format JournalFormat) (*OnlineJournal, error) {
+	return exp.CreateGridJournalFormat(path, &g, format)
 }
 
 // FormatTableIV renders aggregated online rows in the Table IV layout.
